@@ -1,0 +1,98 @@
+//! Golden-section search for unimodal 1-D minimization.
+//!
+//! The pattern-overhead functions `F(W)`, `F(n)`, `F(m)` of Theorems 1–4 are
+//! strictly convex in each argument, so golden-section search converges to
+//! the unique minimum; tests use it to confirm the analytic optima.
+
+/// Inverse golden ratio, `(√5 − 1)/2`.
+const INV_PHI: f64 = 0.618_033_988_749_894_9;
+
+/// Result of a 1-D minimization.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Min1d {
+    /// Argument of the minimum.
+    pub x: f64,
+    /// Function value at the minimum.
+    pub value: f64,
+    /// Number of function evaluations spent.
+    pub evals: usize,
+}
+
+/// Minimizes a unimodal `f` on `[lo, hi]` to absolute x-tolerance `tol`.
+///
+/// Runs golden-section search; the bracket shrinks by the golden ratio per
+/// iteration, so about `log(width/tol)/log(1/φ)` evaluations are used.
+///
+/// # Panics
+/// Panics when `lo > hi` or `tol <= 0`.
+pub fn golden_section_min(mut f: impl FnMut(f64) -> f64, lo: f64, hi: f64, tol: f64) -> Min1d {
+    assert!(lo <= hi, "invalid bracket: lo > hi");
+    assert!(tol > 0.0, "tolerance must be positive");
+    let (mut a, mut b) = (lo, hi);
+    let mut evals = 0;
+    let mut x1 = b - INV_PHI * (b - a);
+    let mut x2 = a + INV_PHI * (b - a);
+    let mut f1 = f(x1);
+    let mut f2 = f(x2);
+    evals += 2;
+
+    while (b - a) > tol {
+        if f1 <= f2 {
+            b = x2;
+            x2 = x1;
+            f2 = f1;
+            x1 = b - INV_PHI * (b - a);
+            f1 = f(x1);
+        } else {
+            a = x1;
+            x1 = x2;
+            f1 = f2;
+            x2 = a + INV_PHI * (b - a);
+            f2 = f(x2);
+        }
+        evals += 1;
+    }
+    let x = 0.5 * (a + b);
+    let value = f(x);
+    evals += 1;
+    Min1d { x, value, evals }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+
+    #[test]
+    fn quadratic_minimum() {
+        let m = golden_section_min(|x| (x - 3.0) * (x - 3.0) + 2.0, 0.0, 10.0, 1e-9);
+        assert!(approx_eq(m.x, 3.0, 1e-6));
+        assert!(approx_eq(m.value, 2.0, 1e-9));
+    }
+
+    #[test]
+    fn young_daly_shape() {
+        // H(W) = c/W + d·W has minimum at sqrt(c/d): the paper's o_ef/o_rw form.
+        let (c, d) = (120.0, 3.4e-5);
+        let m = golden_section_min(|w| c / w + d * w, 1.0, 1e6, 1e-4);
+        assert!(approx_eq(m.x, (c / d).sqrt(), 1e-4));
+    }
+
+    #[test]
+    fn handles_minimum_at_boundary() {
+        let m = golden_section_min(|x| x, 2.0, 5.0, 1e-9);
+        assert!(approx_eq(m.x, 2.0, 1e-6));
+    }
+
+    #[test]
+    fn eval_budget_is_logarithmic() {
+        let m = golden_section_min(|x| x * x, -1.0, 1.0, 1e-12);
+        assert!(m.evals < 80, "used {} evals", m.evals);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid bracket")]
+    fn bad_bracket_panics() {
+        golden_section_min(|x| x, 1.0, 0.0, 1e-3);
+    }
+}

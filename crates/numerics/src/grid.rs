@@ -1,0 +1,128 @@
+//! Bounded grid search with refinement.
+//!
+//! Used to brute-force overhead surfaces (e.g. `F(n, m)` of Theorem 4) and
+//! certify that the closed-form optimum is global, not merely stationary.
+
+use crate::golden::Min1d;
+
+/// Minimizes `f` by evaluating `points` equally spaced samples on `[lo, hi]`.
+///
+/// Returns the best sample. Robust to non-unimodal functions, at grid
+/// resolution.
+pub fn grid_min(mut f: impl FnMut(f64) -> f64, lo: f64, hi: f64, points: usize) -> Min1d {
+    assert!(points >= 2, "need at least two grid points");
+    assert!(lo <= hi, "invalid interval");
+    let step = (hi - lo) / (points - 1) as f64;
+    let mut best = Min1d { x: lo, value: f(lo), evals: 1 };
+    for k in 1..points {
+        let x = lo + step * k as f64;
+        let v = f(x);
+        best.evals += 1;
+        if v < best.value {
+            best.x = x;
+            best.value = v;
+        }
+    }
+    best
+}
+
+/// Iteratively zooms a grid search: after each pass the interval shrinks to
+/// the two cells around the incumbent. `rounds` passes of `points` samples.
+pub fn refine_min(
+    mut f: impl FnMut(f64) -> f64,
+    mut lo: f64,
+    mut hi: f64,
+    points: usize,
+    rounds: usize,
+) -> Min1d {
+    let mut best = Min1d { x: lo, value: f64::INFINITY, evals: 0 };
+    for _ in 0..rounds {
+        let step = (hi - lo) / (points - 1) as f64;
+        let m = grid_min(&mut f, lo, hi, points);
+        best.evals += m.evals;
+        best.x = m.x;
+        best.value = m.value;
+        lo = (m.x - step).max(lo);
+        hi = (m.x + step).min(hi);
+        if hi - lo < f64::EPSILON * m.x.abs().max(1.0) {
+            break;
+        }
+    }
+    best
+}
+
+/// Result of a 2-D minimization.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Min2d {
+    /// First coordinate of the minimum.
+    pub x: f64,
+    /// Second coordinate of the minimum.
+    pub y: f64,
+    /// Function value at the minimum.
+    pub value: f64,
+    /// Number of function evaluations spent.
+    pub evals: usize,
+}
+
+/// Exhaustive 2-D grid search on `[xlo,xhi] × [ylo,yhi]`.
+pub fn grid_min_2d(
+    mut f: impl FnMut(f64, f64) -> f64,
+    (xlo, xhi): (f64, f64),
+    (ylo, yhi): (f64, f64),
+    points: usize,
+) -> Min2d {
+    assert!(points >= 2, "need at least two grid points");
+    let dx = (xhi - xlo) / (points - 1) as f64;
+    let dy = (yhi - ylo) / (points - 1) as f64;
+    let mut best = Min2d { x: xlo, y: ylo, value: f64::INFINITY, evals: 0 };
+    for i in 0..points {
+        let x = xlo + dx * i as f64;
+        for j in 0..points {
+            let y = ylo + dy * j as f64;
+            let v = f(x, y);
+            best.evals += 1;
+            if v < best.value {
+                best = Min2d { x, y, value: v, evals: best.evals };
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+
+    #[test]
+    fn grid_finds_parabola_min() {
+        let m = grid_min(|x| (x - 0.7).powi(2), 0.0, 1.0, 101);
+        assert!(approx_eq(m.x, 0.7, 1e-2));
+    }
+
+    #[test]
+    fn refine_converges_tightly() {
+        let m = refine_min(|x| (x - 123.456).powi(2), 0.0, 1000.0, 33, 12);
+        assert!((m.x - 123.456).abs() < 1e-6, "got {}", m.x);
+    }
+
+    #[test]
+    fn grid_2d_finds_saddle_free_min() {
+        let m = grid_min_2d(|x, y| (x - 2.0).powi(2) + (y + 1.0).powi(2), (-5.0, 5.0), (-5.0, 5.0), 101);
+        assert!(approx_eq(m.x, 2.0, 1e-1));
+        assert!(approx_eq(m.y, -1.0, 1e-1));
+    }
+
+    #[test]
+    fn grid_handles_multimodal() {
+        // global min of cos on [0, 10] is at π (value −1), local min near 3π too.
+        let m = grid_min(|x| x.cos() + 0.01 * x, 0.0, 10.0, 2001);
+        assert!(approx_eq(m.x, std::f64::consts::PI, 2e-2));
+    }
+
+    #[test]
+    fn refine_with_boundary_min() {
+        let m = refine_min(|x| x, 1.0, 9.0, 11, 6);
+        assert!(approx_eq(m.x, 1.0, 1e-3));
+    }
+}

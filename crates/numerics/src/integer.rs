@@ -1,0 +1,129 @@
+//! Convex integer rounding.
+//!
+//! Theorems 2–4 derive a continuous optimizer `n̄*` (or `m̄*`) of a convex
+//! objective and state that the integer optimum is `max(1, ⌊n̄*⌋)` or `⌈n̄*⌉`,
+//! whichever evaluates lower. These helpers implement that rule, including
+//! the 2-D variant for the `(n, m)` pair of Theorem 4.
+
+/// Returns the integer `n ≥ min_value` minimizing convex `f`, restricted to
+/// the floor/ceil neighbours of the continuous optimum `x_star`.
+///
+/// Exactly the paper's rounding rule: for a convex `F`, the best integer is
+/// one of the two integers bracketing the real minimizer (clamped below).
+pub fn best_integer_neighbor(
+    mut f: impl FnMut(u64) -> f64,
+    x_star: f64,
+    min_value: u64,
+) -> (u64, f64) {
+    let lo = (x_star.floor().max(min_value as f64)) as u64;
+    let hi = lo.max(x_star.ceil().max(min_value as f64) as u64);
+    let flo = f(lo);
+    if hi == lo {
+        return (lo, flo);
+    }
+    let fhi = f(hi);
+    if flo <= fhi {
+        (lo, flo)
+    } else {
+        (hi, fhi)
+    }
+}
+
+/// 2-D counterpart for Theorem 4: evaluates the (up to four) integer corners
+/// around the continuous optimum `(x_star, y_star)` of a jointly convex `f`
+/// and returns the best.
+pub fn best_integer_pair(
+    mut f: impl FnMut(u64, u64) -> f64,
+    x_star: f64,
+    y_star: f64,
+    min_value: u64,
+) -> (u64, u64, f64) {
+    let clamp = |v: f64| v.max(min_value as f64);
+    let xs = [clamp(x_star.floor()) as u64, clamp(x_star.ceil()) as u64];
+    let ys = [clamp(y_star.floor()) as u64, clamp(y_star.ceil()) as u64];
+    let mut best = (xs[0], ys[0], f(xs[0], ys[0]));
+    for &x in &xs {
+        for &y in &ys {
+            if (x, y) == (best.0, best.1) {
+                continue;
+            }
+            let v = f(x, y);
+            if v < best.2 {
+                best = (x, y, v);
+            }
+        }
+    }
+    best
+}
+
+/// Exhaustively scans `f` over `[min_value, max_value]` and returns the best
+/// integer. Linear cost; used in tests to certify the rounding rule.
+pub fn exhaustive_integer_min(
+    mut f: impl FnMut(u64) -> f64,
+    min_value: u64,
+    max_value: u64,
+) -> (u64, f64) {
+    assert!(min_value <= max_value);
+    let mut best = (min_value, f(min_value));
+    for n in (min_value + 1)..=max_value {
+        let v = f(n);
+        if v < best.1 {
+            best = (n, v);
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rounds_to_nearer_side_by_value() {
+        // convex with continuous min at 3.7: integer min is 4.
+        let f = |n: u64| (n as f64 - 3.7).powi(2);
+        let (n, _) = best_integer_neighbor(f, 3.7, 1);
+        assert_eq!(n, 4);
+    }
+
+    #[test]
+    fn clamps_to_minimum() {
+        let f = |n: u64| (n as f64 - 0.2).powi(2);
+        let (n, _) = best_integer_neighbor(f, 0.2, 1);
+        assert_eq!(n, 1);
+    }
+
+    #[test]
+    fn exact_integer_optimum() {
+        let f = |n: u64| (n as f64 - 5.0).powi(2);
+        let (n, v) = best_integer_neighbor(f, 5.0, 1);
+        assert_eq!(n, 5);
+        assert_eq!(v, 0.0);
+    }
+
+    #[test]
+    fn neighbor_matches_exhaustive_on_convex() {
+        // Paper-shaped objective: F(n) = (n·a + b)(c/n + d), convex in n.
+        let (a, b, c, d) = (19.9, 300.0, 3.38e-6, 4.7e-7);
+        let f = |n: u64| (n as f64 * a + b) * (c / n as f64 + d);
+        let n_star = (c * b / (a * d)).sqrt();
+        let (n_round, v_round) = best_integer_neighbor(f, n_star, 1);
+        let (n_ex, v_ex) = exhaustive_integer_min(f, 1, 10_000);
+        assert_eq!(n_round, n_ex);
+        assert_eq!(v_round, v_ex);
+    }
+
+    #[test]
+    fn pair_finds_corner() {
+        let f = |x: u64, y: u64| (x as f64 - 2.3).powi(2) + (y as f64 - 7.8).powi(2);
+        let (x, y, _) = best_integer_pair(f, 2.3, 7.8, 1);
+        assert_eq!((x, y), (2, 8));
+    }
+
+    #[test]
+    fn pair_clamps_both() {
+        let f = |x: u64, y: u64| x as f64 + y as f64;
+        let (x, y, _) = best_integer_pair(f, 0.1, 0.4, 1);
+        assert_eq!((x, y), (1, 1));
+    }
+}

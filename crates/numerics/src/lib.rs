@@ -1,0 +1,61 @@
+//! Numerical substrate for the resilience-patterns workspace.
+//!
+//! The paper's optimal patterns are closed-form, but validating them (and
+//! supporting configurations the closed forms do not cover) requires a small
+//! amount of numerical machinery:
+//!
+//! * [`matrix`] — small dense matrices, symmetric matrices and quadratic
+//!   forms, used for the chunk-size form `βᵀ A β` of Proposition 3;
+//! * [`golden`] — golden-section search for unimodal 1-D minimization;
+//! * [`grid`] — bounded grid search with refinement, used to brute-force
+//!   overhead surfaces and check that analytic optima are global;
+//! * [`integer`] — convex integer rounding (evaluate floor/ceil neighbours of
+//!   a continuous optimum), as Theorems 2–4 prescribe;
+//! * [`roots`] — bisection and Newton root finding;
+//! * [`simplex`] — projected-gradient minimization of quadratic forms over
+//!   the probability simplex, the numerical counterpart of Eq. (18).
+//!
+//! Everything is dependency-free; the crates mirror what thin numeric-
+//! optimization coverage in the ecosystem would otherwise force us to vendor.
+
+pub mod golden;
+pub mod grid;
+pub mod integer;
+pub mod matrix;
+pub mod roots;
+pub mod simplex;
+
+pub use golden::golden_section_min;
+pub use grid::{grid_min, grid_min_2d, refine_min};
+pub use integer::{best_integer_neighbor, best_integer_pair};
+pub use matrix::{Matrix, SymMatrix};
+pub use roots::{bisect, newton};
+pub use simplex::minimize_quadratic_on_simplex;
+
+/// Relative floating-point comparison with absolute floor.
+///
+/// Returns `true` when `a` and `b` differ by at most `tol` in relative terms
+/// (or absolutely when both are tiny). Used pervasively by tests.
+pub fn approx_eq(a: f64, b: f64, tol: f64) -> bool {
+    let diff = (a - b).abs();
+    let scale = a.abs().max(b.abs()).max(1e-12);
+    diff <= tol * scale || diff <= tol * 1e-6
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn approx_eq_basic() {
+        assert!(approx_eq(1.0, 1.0 + 1e-12, 1e-9));
+        assert!(!approx_eq(1.0, 1.1, 1e-3));
+        assert!(approx_eq(0.0, 0.0, 1e-12));
+        assert!(approx_eq(1e-15, 2e-15, 1e-6));
+    }
+
+    #[test]
+    fn approx_eq_is_symmetric() {
+        assert_eq!(approx_eq(3.0, 3.001, 1e-3), approx_eq(3.001, 3.0, 1e-3));
+    }
+}

@@ -1,0 +1,282 @@
+//! Small dense matrices and quadratic forms.
+//!
+//! The only linear algebra the paper needs is the `m × m` symmetric matrix
+//! `A` of Proposition 3, `A_{ij} = ½(1 + (1−r)^{|i−j|})`, and the quadratic
+//! form `βᵀ A β` it induces on chunk-size vectors. We provide a general
+//! row-major [`Matrix`] plus a cache-friendly packed [`SymMatrix`] storing
+//! only the upper triangle.
+
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// Row-major dense matrix of `f64`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates a `rows × cols` zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Creates an `n × n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Builds a matrix from a generator `f(i, j)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                data.push(f(i, j));
+            }
+        }
+        Self { rows, cols, data }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Matrix-vector product `A x`.
+    ///
+    /// # Panics
+    /// Panics when `x.len() != self.cols()`.
+    pub fn mul_vec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.cols, "dimension mismatch in mul_vec");
+        let mut out = vec![0.0; self.rows];
+        for i in 0..self.rows {
+            let row = &self.data[i * self.cols..(i + 1) * self.cols];
+            out[i] = row.iter().zip(x).map(|(a, b)| a * b).sum();
+        }
+        out
+    }
+
+    /// Quadratic form `xᵀ A x`.
+    pub fn quadratic_form(&self, x: &[f64]) -> f64 {
+        self.mul_vec(x).iter().zip(x).map(|(a, b)| a * b).sum()
+    }
+
+    /// Transpose.
+    pub fn transpose(&self) -> Matrix {
+        Matrix::from_fn(self.cols, self.rows, |i, j| self[(j, i)])
+    }
+
+    /// Symmetric part `(A + Aᵀ)/2`; the paper substitutes `M → (M+Mᵀ)/2`
+    /// without changing the quadratic form (proof of Proposition 3).
+    pub fn symmetric_part(&self) -> Matrix {
+        assert_eq!(self.rows, self.cols, "symmetric part of non-square matrix");
+        Matrix::from_fn(self.rows, self.cols, |i, j| 0.5 * (self[(i, j)] + self[(j, i)]))
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f64;
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+impl fmt::Display for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                write!(f, "{:>10.4} ", self[(i, j)])?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+/// Symmetric matrix stored as a packed upper triangle.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SymMatrix {
+    n: usize,
+    /// Upper triangle, row-major: entry `(i, j)` with `i <= j` lives at
+    /// `i*n - i*(i+1)/2 + j`.
+    data: Vec<f64>,
+}
+
+impl SymMatrix {
+    /// Builds an `n × n` symmetric matrix from a generator evaluated on the
+    /// upper triangle (`i <= j`).
+    pub fn from_fn(n: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut data = Vec::with_capacity(n * (n + 1) / 2);
+        for i in 0..n {
+            for j in i..n {
+                data.push(f(i, j));
+            }
+        }
+        Self { n, data }
+    }
+
+    /// Dimension.
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    fn idx(&self, i: usize, j: usize) -> usize {
+        let (i, j) = if i <= j { (i, j) } else { (j, i) };
+        i * self.n - i * (i + 1) / 2 + j
+    }
+
+    /// Entry accessor (symmetric: `get(i,j) == get(j,i)`).
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        self.data[self.idx(i, j)]
+    }
+
+    /// Quadratic form `xᵀ A x` exploiting symmetry: the off-diagonal terms
+    /// are accumulated once and doubled.
+    pub fn quadratic_form(&self, x: &[f64]) -> f64 {
+        assert_eq!(x.len(), self.n, "dimension mismatch in quadratic_form");
+        let mut acc = 0.0;
+        for i in 0..self.n {
+            acc += self.get(i, i) * x[i] * x[i];
+            let mut off = 0.0;
+            for j in (i + 1)..self.n {
+                off += self.get(i, j) * x[j];
+            }
+            acc += 2.0 * x[i] * off;
+        }
+        acc
+    }
+
+    /// Matrix-vector product `A x`.
+    pub fn mul_vec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.n, "dimension mismatch in mul_vec");
+        let mut out = vec![0.0; self.n];
+        for i in 0..self.n {
+            let mut s = 0.0;
+            for j in 0..self.n {
+                s += self.get(i, j) * x[j];
+            }
+            out[i] = s;
+        }
+        out
+    }
+
+    /// Converts to a dense [`Matrix`].
+    pub fn to_dense(&self) -> Matrix {
+        Matrix::from_fn(self.n, self.n, |i, j| self.get(i, j))
+    }
+}
+
+/// The verification-interplay matrix of Proposition 3:
+/// `A_{ij} = ½ (1 + (1−r)^{|i−j|})` for an `m`-chunk segment with partial
+/// verifications of recall `r`.
+///
+/// `r = 1` (guaranteed verifications everywhere) degenerates to
+/// `A = ½(I + J_diag)`, giving the equal-chunk optimum of the `P_DV*` remark.
+pub fn recall_matrix(m: usize, recall: f64) -> SymMatrix {
+    SymMatrix::from_fn(m, |i, j| 0.5 * (1.0 + (1.0 - recall).powi((j - i) as i32)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+
+    #[test]
+    fn identity_quadratic_form_is_norm() {
+        let id = Matrix::identity(4);
+        let x = [1.0, 2.0, 3.0, 4.0];
+        assert!(approx_eq(id.quadratic_form(&x), 30.0, 1e-12));
+    }
+
+    #[test]
+    fn mul_vec_matches_manual() {
+        let a = Matrix::from_fn(2, 3, |i, j| (i * 3 + j) as f64);
+        let y = a.mul_vec(&[1.0, 1.0, 1.0]);
+        assert_eq!(y, vec![3.0, 12.0]);
+    }
+
+    #[test]
+    fn transpose_involutive() {
+        let a = Matrix::from_fn(3, 2, |i, j| (i + 10 * j) as f64);
+        assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn symmetric_part_preserves_quadratic_form() {
+        // The paper's M → (M+Mᵀ)/2 step: quadratic forms agree.
+        let m = Matrix::from_fn(4, 4, |i, j| if i > j { 0.3f64.powi((i - j) as i32) } else { 1.0 });
+        let s = m.symmetric_part();
+        let x = [0.4, 0.1, 0.2, 0.3];
+        assert!(approx_eq(m.quadratic_form(&x), s.quadratic_form(&x), 1e-12));
+    }
+
+    #[test]
+    fn sym_matrix_agrees_with_dense() {
+        let r = 0.8;
+        let sym = recall_matrix(5, r);
+        let dense = sym.to_dense();
+        let x = [0.25, 0.2, 0.1, 0.2, 0.25];
+        assert!(approx_eq(sym.quadratic_form(&x), dense.quadratic_form(&x), 1e-12));
+        for i in 0..5 {
+            for j in 0..5 {
+                assert!(approx_eq(sym.get(i, j), dense[(i, j)], 1e-15));
+            }
+        }
+    }
+
+    #[test]
+    fn recall_matrix_entries() {
+        let a = recall_matrix(3, 0.8);
+        assert!(approx_eq(a.get(0, 0), 1.0, 1e-15));
+        assert!(approx_eq(a.get(0, 1), 0.5 * (1.0 + 0.2), 1e-15));
+        assert!(approx_eq(a.get(0, 2), 0.5 * (1.0 + 0.04), 1e-15));
+        assert!(approx_eq(a.get(2, 0), a.get(0, 2), 1e-15));
+    }
+
+    #[test]
+    fn recall_one_gives_half_identity_plus_half_ones_diag() {
+        // r = 1: A = ½(J_0 + I) where off-diagonals are ½.
+        let a = recall_matrix(4, 1.0);
+        for i in 0..4 {
+            for j in 0..4 {
+                let expect = if i == j { 1.0 } else { 0.5 };
+                assert!(approx_eq(a.get(i, j), expect, 1e-15));
+            }
+        }
+    }
+
+    #[test]
+    fn sym_mul_vec_matches_dense() {
+        let sym = recall_matrix(6, 0.5);
+        let dense = sym.to_dense();
+        let x: Vec<f64> = (0..6).map(|i| (i as f64 + 1.0) / 21.0).collect();
+        let a = sym.mul_vec(&x);
+        let b = dense.mul_vec(&x);
+        for (u, v) in a.iter().zip(&b) {
+            assert!(approx_eq(*u, *v, 1e-12));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn mul_vec_dim_mismatch_panics() {
+        Matrix::zeros(2, 2).mul_vec(&[1.0]);
+    }
+}

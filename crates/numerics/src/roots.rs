@@ -1,0 +1,125 @@
+//! Root finding: bisection and (safeguarded) Newton.
+//!
+//! Used for inverting first-order stationarity conditions when validating
+//! the closed forms, and exposed for downstream users who want to solve
+//! `∂H/∂W = 0` for non-standard cost models.
+
+/// Finds a root of `f` on the bracketing interval `[lo, hi]` by bisection.
+///
+/// Requires `f(lo)` and `f(hi)` to have opposite signs (or one of them to be
+/// an exact zero). Converges linearly; always succeeds on a valid bracket.
+///
+/// # Panics
+/// Panics when the interval does not bracket a sign change.
+pub fn bisect(mut f: impl FnMut(f64) -> f64, mut lo: f64, mut hi: f64, tol: f64) -> f64 {
+    let mut flo = f(lo);
+    let fhi = f(hi);
+    if flo == 0.0 {
+        return lo;
+    }
+    if fhi == 0.0 {
+        return hi;
+    }
+    assert!(
+        flo.signum() != fhi.signum(),
+        "bisect: interval [{lo}, {hi}] does not bracket a root (f(lo)={flo}, f(hi)={fhi})"
+    );
+    while hi - lo > tol {
+        let mid = 0.5 * (lo + hi);
+        let fmid = f(mid);
+        if fmid == 0.0 {
+            return mid;
+        }
+        if fmid.signum() == flo.signum() {
+            lo = mid;
+            flo = fmid;
+        } else {
+            hi = mid;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+/// Newton's method with numerical derivative and bisection fallback.
+///
+/// Starts at `x0` inside the bracket `[lo, hi]`; any Newton step leaving the
+/// bracket (or with a vanishing derivative) falls back to a bisection step,
+/// so convergence is guaranteed on a valid bracket.
+pub fn newton(mut f: impl FnMut(f64) -> f64, x0: f64, lo: f64, hi: f64, tol: f64) -> f64 {
+    let mut x = x0.clamp(lo, hi);
+    let (mut a, mut b) = (lo, hi);
+    let mut fa = f(a);
+    if fa == 0.0 {
+        return a;
+    }
+    let fb = f(b);
+    if fb == 0.0 {
+        return b;
+    }
+    assert!(fa.signum() != fb.signum(), "newton: interval does not bracket a root");
+    for _ in 0..200 {
+        let fx = f(x);
+        if fx.abs() < tol {
+            return x;
+        }
+        // Maintain the bracket.
+        if fx.signum() == fa.signum() {
+            a = x;
+            fa = fx;
+        } else {
+            b = x;
+        }
+        let h = (x.abs() * 1e-7).max(1e-12);
+        let d = (f(x + h) - f(x - h)) / (2.0 * h);
+        let next = if d != 0.0 { x - fx / d } else { f64::NAN };
+        x = if next.is_finite() && next > a && next < b { next } else { 0.5 * (a + b) };
+        if b - a < tol {
+            return 0.5 * (a + b);
+        }
+    }
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+
+    #[test]
+    fn bisect_sqrt2() {
+        let r = bisect(|x| x * x - 2.0, 0.0, 2.0, 1e-12);
+        assert!(approx_eq(r, std::f64::consts::SQRT_2, 1e-10));
+    }
+
+    #[test]
+    fn bisect_exact_endpoint() {
+        assert_eq!(bisect(|x| x, 0.0, 1.0, 1e-12), 0.0);
+    }
+
+    #[test]
+    fn newton_converges_fast() {
+        let r = newton(|x| x.exp() - 3.0, 1.0, 0.0, 3.0, 1e-12);
+        assert!(approx_eq(r, 3.0f64.ln(), 1e-9));
+    }
+
+    #[test]
+    fn newton_with_flat_start_falls_back() {
+        // derivative ~0 near start; must still converge via bisection steps.
+        let r = newton(|x| x.powi(3) - 8.0, 0.0, -1.0, 5.0, 1e-10);
+        assert!(approx_eq(r, 2.0, 1e-7));
+    }
+
+    #[test]
+    #[should_panic(expected = "does not bracket")]
+    fn bisect_requires_bracket() {
+        bisect(|x| x * x + 1.0, -1.0, 1.0, 1e-9);
+    }
+
+    #[test]
+    fn stationarity_of_overhead() {
+        // d/dW (oef/W + orw·W) = 0 at W = sqrt(oef/orw).
+        let (oef, orw) = (330.0, 5.0e-6);
+        let r = bisect(|w| -oef / (w * w) + orw, 1.0, 1e7, 1e-6);
+        assert!(approx_eq(r, (oef / orw).sqrt(), 1e-6));
+    }
+}

@@ -1,0 +1,141 @@
+//! Minimization of quadratic forms over the probability simplex.
+//!
+//! Proposition 3 / Theorem 3 minimize `f(β) = βᵀ A β` subject to
+//! `Σ β_j = 1`, `β ≥ 0`. The paper gives the closed-form solution
+//! (Eq. 18); this module provides a numerical solver used to certify it and
+//! to handle matrices outside the closed form's hypotheses.
+//!
+//! The solver is projected gradient descent with an exact Euclidean
+//! projection onto the simplex (the standard sort-and-threshold algorithm).
+//! For the positive-definite `A` of the paper, the problem is strictly
+//! convex, so the method converges to the unique global minimum.
+
+use crate::matrix::SymMatrix;
+
+/// Euclidean projection of `v` onto the probability simplex
+/// `{x : Σx = 1, x ≥ 0}` (Held–Wolfe–Crowder / Duchi et al.).
+pub fn project_to_simplex(v: &[f64]) -> Vec<f64> {
+    let n = v.len();
+    assert!(n > 0, "cannot project an empty vector");
+    let mut u: Vec<f64> = v.to_vec();
+    u.sort_by(|a, b| b.partial_cmp(a).expect("NaN in simplex projection"));
+    let mut css = 0.0;
+    let mut rho = 0;
+    let mut theta = 0.0;
+    for (k, &uk) in u.iter().enumerate() {
+        css += uk;
+        let t = (css - 1.0) / (k + 1) as f64;
+        if uk - t > 0.0 {
+            rho = k + 1;
+            theta = t;
+        }
+    }
+    debug_assert!(rho > 0);
+    let _ = rho;
+    v.iter().map(|&x| (x - theta).max(0.0)).collect()
+}
+
+/// Outcome of the simplex-constrained quadratic minimization.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimplexMin {
+    /// Minimizing point on the simplex.
+    pub x: Vec<f64>,
+    /// `xᵀ A x` at the minimum.
+    pub value: f64,
+    /// Iterations used.
+    pub iters: usize,
+}
+
+/// Minimizes `xᵀ A x` over the probability simplex by projected gradient
+/// descent with fixed step `1/L`, `L` estimated from the matrix entries
+/// (row-sum bound on the spectral norm of `2A`).
+pub fn minimize_quadratic_on_simplex(a: &SymMatrix, max_iters: usize, tol: f64) -> SimplexMin {
+    let n = a.dim();
+    assert!(n > 0, "empty matrix");
+    // Lipschitz constant of the gradient 2Ax: 2·‖A‖ ≤ 2·max row sum (A ≥ 0 here).
+    let mut l = 0.0f64;
+    for i in 0..n {
+        let row: f64 = (0..n).map(|j| a.get(i, j).abs()).sum();
+        l = l.max(2.0 * row);
+    }
+    let step = 1.0 / l.max(1e-12);
+
+    let mut x = vec![1.0 / n as f64; n];
+    let mut value = a.quadratic_form(&x);
+    for it in 0..max_iters {
+        let grad = a.mul_vec(&x); // ∇(xᵀAx)/2; constant factor folds into step
+        let moved: Vec<f64> = x.iter().zip(&grad).map(|(xi, g)| xi - 2.0 * step * g).collect();
+        let next = project_to_simplex(&moved);
+        let next_value = a.quadratic_form(&next);
+        let delta = (value - next_value).abs();
+        x = next;
+        value = next_value;
+        if delta < tol * value.abs().max(1e-300) {
+            return SimplexMin { x, value, iters: it + 1 };
+        }
+    }
+    SimplexMin { x, value, iters: max_iters }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+    use crate::matrix::recall_matrix;
+
+    #[test]
+    fn projection_of_point_on_simplex_is_identity() {
+        let p = project_to_simplex(&[0.2, 0.3, 0.5]);
+        for (a, b) in p.iter().zip(&[0.2, 0.3, 0.5]) {
+            assert!(approx_eq(*a, *b, 1e-12));
+        }
+    }
+
+    #[test]
+    fn projection_sums_to_one_and_nonneg() {
+        let p = project_to_simplex(&[2.0, -1.0, 0.5, 3.0]);
+        let s: f64 = p.iter().sum();
+        assert!(approx_eq(s, 1.0, 1e-12));
+        assert!(p.iter().all(|&x| x >= 0.0));
+    }
+
+    #[test]
+    fn identity_matrix_minimized_by_uniform() {
+        // xᵀIx on the simplex is minimized by the uniform vector.
+        let a = SymMatrix::from_fn(5, |i, j| if i == j { 1.0 } else { 0.0 });
+        let m = minimize_quadratic_on_simplex(&a, 50_000, 1e-14);
+        for &xi in &m.x {
+            assert!(approx_eq(xi, 0.2, 1e-5));
+        }
+        assert!(approx_eq(m.value, 0.2, 1e-6));
+    }
+
+    #[test]
+    fn matches_paper_closed_form_for_recall_matrix() {
+        // Eq. (18): β_1 = β_m = 1/((m−2)r+2), inner = r/((m−2)r+2);
+        // f* = ½(1 + (2−r)/((m−2)r+2)).
+        let (m, r) = (5usize, 0.8f64);
+        let a = recall_matrix(m, r);
+        let denom = (m as f64 - 2.0) * r + 2.0;
+        let f_star = 0.5 * (1.0 + (2.0 - r) / denom);
+        let got = minimize_quadratic_on_simplex(&a, 200_000, 1e-15);
+        assert!(
+            approx_eq(got.value, f_star, 1e-5),
+            "numeric {} vs closed form {}",
+            got.value,
+            f_star
+        );
+        // end chunks bigger than inner chunks
+        assert!(got.x[0] > got.x[2]);
+        assert!(approx_eq(got.x[0], 1.0 / denom, 1e-3));
+        assert!(approx_eq(got.x[2], r / denom, 1e-3));
+    }
+
+    #[test]
+    fn single_chunk_trivial() {
+        let a = recall_matrix(1, 0.8);
+        let m = minimize_quadratic_on_simplex(&a, 10, 1e-12);
+        assert!(approx_eq(m.x[0], 1.0, 1e-12));
+        assert!(approx_eq(m.value, 1.0, 1e-12));
+    }
+}

@@ -1,0 +1,19 @@
+//! Statistics utilities for simulation output.
+//!
+//! * [`online`] — Welford one-pass mean/variance accumulators, mergeable
+//!   across threads (used by the parallel replication runner);
+//! * [`summary`] — distribution summaries with confidence intervals;
+//! * [`rates`] — conversions between event counts and per-hour/per-day rates,
+//!   matching the units of the paper's Figures 6–9;
+//! * [`histogram`] — fixed-bin histograms for inspecting simulated
+//!   distributions.
+
+pub mod histogram;
+pub mod online;
+pub mod rates;
+pub mod summary;
+
+pub use histogram::Histogram;
+pub use online::OnlineStats;
+pub use rates::{per_day, per_hour, HOUR, DAY, YEAR};
+pub use summary::Summary;

@@ -1,0 +1,96 @@
+//! Time-unit constants and rate conversions.
+//!
+//! The paper reports checkpoint/verification frequencies *per hour* and
+//! recovery frequencies *per day*; the simulator works in seconds. These
+//! helpers keep the unit conversions in one place.
+
+/// Seconds per hour.
+pub const HOUR: f64 = 3_600.0;
+/// Seconds per day.
+pub const DAY: f64 = 86_400.0;
+/// Seconds per (Julian) year, as used when quoting per-node MTBFs.
+pub const YEAR: f64 = 365.25 * DAY;
+
+/// Converts an event count over `elapsed_secs` seconds into an hourly rate.
+pub fn per_hour(count: f64, elapsed_secs: f64) -> f64 {
+    if elapsed_secs <= 0.0 {
+        0.0
+    } else {
+        count * HOUR / elapsed_secs
+    }
+}
+
+/// Converts an event count over `elapsed_secs` seconds into a daily rate.
+pub fn per_day(count: f64, elapsed_secs: f64) -> f64 {
+    if elapsed_secs <= 0.0 {
+        0.0
+    } else {
+        count * DAY / elapsed_secs
+    }
+}
+
+/// MTBF (seconds) from an error rate `λ` (1/seconds). Infinite at rate 0.
+pub fn mtbf_from_rate(lambda: f64) -> f64 {
+    if lambda <= 0.0 {
+        f64::INFINITY
+    } else {
+        1.0 / lambda
+    }
+}
+
+/// Platform error rate from a per-node MTBF (in seconds) and a node count:
+/// `λ_platform = nodes / mtbf_node` ([Hérault & Robert 2015], Prop. 1.2,
+/// quoted in the paper's introduction).
+pub fn platform_rate(mtbf_node_secs: f64, nodes: u64) -> f64 {
+    assert!(mtbf_node_secs > 0.0, "per-node MTBF must be positive");
+    nodes as f64 / mtbf_node_secs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hourly_rate_roundtrip() {
+        // 10 events in 2 hours = 5/hour.
+        assert_eq!(per_hour(10.0, 2.0 * HOUR), 5.0);
+    }
+
+    #[test]
+    fn daily_rate_roundtrip() {
+        assert_eq!(per_day(3.0, 1.5 * DAY), 2.0);
+    }
+
+    #[test]
+    fn zero_elapsed_is_zero_rate() {
+        assert_eq!(per_hour(5.0, 0.0), 0.0);
+        assert_eq!(per_day(5.0, -1.0), 0.0);
+    }
+
+    #[test]
+    fn platform_mtbf_shrinks_with_nodes() {
+        // 10-year node MTBF over 1e6 nodes ≈ 5.26 minutes (paper intro: "five minutes").
+        let rate = platform_rate(10.0 * YEAR, 1_000_000);
+        let mtbf_min = mtbf_from_rate(rate) / 60.0;
+        assert!((mtbf_min - 5.26).abs() < 0.1, "got {mtbf_min} minutes");
+    }
+
+    #[test]
+    fn mtbf_of_zero_rate_is_infinite() {
+        assert!(mtbf_from_rate(0.0).is_infinite());
+    }
+
+    #[test]
+    fn hera_fail_stop_mtbf_matches_paper() {
+        // Table 2: λ_f = 9.46e-7 → platform MTBF 12.2 days (paper §6.2.1).
+        let days = mtbf_from_rate(9.46e-7) / DAY;
+        assert!((days - 12.2).abs() < 0.1, "got {days} days");
+    }
+
+    #[test]
+    fn hera_silent_mtbf_matches_paper() {
+        // Table 2: λ_s = 3.38e-6 → 3.4 days.
+        let days = mtbf_from_rate(3.38e-6) / DAY;
+        assert!((days - 3.4).abs() < 0.05, "got {days} days");
+    }
+}

@@ -1,0 +1,109 @@
+//! Human-readable summaries of accumulated statistics.
+
+use crate::online::OnlineStats;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A finalized summary of a simulated quantity: mean with a 95% CI plus
+/// range information. Produced from an [`OnlineStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Number of observations.
+    pub count: u64,
+    /// Sample mean.
+    pub mean: f64,
+    /// Sample standard deviation.
+    pub std_dev: f64,
+    /// Half-width of the 95% confidence interval on the mean.
+    pub ci95: f64,
+    /// Minimum observation.
+    pub min: f64,
+    /// Maximum observation.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Finalizes an accumulator into a summary.
+    pub fn from_stats(s: &OnlineStats) -> Self {
+        Self {
+            count: s.count(),
+            mean: s.mean(),
+            std_dev: s.std_dev(),
+            ci95: s.ci95_half_width(),
+            min: s.min(),
+            max: s.max(),
+        }
+    }
+
+    /// Whether `other`'s mean lies within this summary's 95% CI.
+    pub fn ci_contains(&self, value: f64) -> bool {
+        (value - self.mean).abs() <= self.ci95
+    }
+
+    /// Relative deviation of `value` from the mean (`|v−μ|/|μ|`, infinite
+    /// when the mean is zero and the value is not).
+    pub fn rel_deviation(&self, value: f64) -> f64 {
+        if self.mean == 0.0 {
+            if value == 0.0 {
+                0.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            (value - self.mean).abs() / self.mean.abs()
+        }
+    }
+}
+
+impl fmt::Display for Summary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6} ± {:.6} (n={}, range [{:.4}, {:.4}])", self.mean, self.ci95, self.count, self.min, self.max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_constant_sample() {
+        let mut s = OnlineStats::new();
+        for _ in 0..10 {
+            s.push(7.0);
+        }
+        let sum = Summary::from_stats(&s);
+        assert_eq!(sum.mean, 7.0);
+        assert_eq!(sum.std_dev, 0.0);
+        assert_eq!(sum.ci95, 0.0);
+        assert!(sum.ci_contains(7.0));
+        assert!(!sum.ci_contains(7.1));
+    }
+
+    #[test]
+    fn rel_deviation_cases() {
+        let mut s = OnlineStats::new();
+        s.push(2.0);
+        s.push(2.0);
+        let sum = Summary::from_stats(&s);
+        assert_eq!(sum.rel_deviation(2.2), 0.1f64);
+        assert_eq!(sum.rel_deviation(2.0), 0.0);
+    }
+
+    #[test]
+    fn zero_mean_rel_deviation() {
+        let mut s = OnlineStats::new();
+        s.push(0.0);
+        let sum = Summary::from_stats(&s);
+        assert_eq!(sum.rel_deviation(0.0), 0.0);
+        assert!(sum.rel_deviation(1.0).is_infinite());
+    }
+
+    #[test]
+    fn display_contains_mean() {
+        let mut s = OnlineStats::new();
+        s.push(1.0);
+        s.push(3.0);
+        let txt = format!("{}", Summary::from_stats(&s));
+        assert!(txt.contains("2.0"), "{txt}");
+    }
+}
