@@ -4,19 +4,10 @@
 //! strictly convex in each argument, so golden-section search converges to
 //! the unique minimum; tests use it to confirm the analytic optima.
 
+pub use crate::minimize::Min1d;
+
 /// Inverse golden ratio, `(√5 − 1)/2`.
 const INV_PHI: f64 = 0.618_033_988_749_894_9;
-
-/// Result of a 1-D minimization.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct Min1d {
-    /// Argument of the minimum.
-    pub x: f64,
-    /// Function value at the minimum.
-    pub value: f64,
-    /// Number of function evaluations spent.
-    pub evals: usize,
-}
 
 /// Minimizes a unimodal `f` on `[lo, hi]` to absolute x-tolerance `tol`.
 ///

@@ -3,7 +3,7 @@
 //! Used to brute-force overhead surfaces (e.g. `F(n, m)` of Theorem 4) and
 //! certify that the closed-form optimum is global, not merely stationary.
 
-use crate::golden::Min1d;
+pub use crate::minimize::{Min1d, Min2d};
 
 /// Minimizes `f` by evaluating `points` equally spaced samples on `[lo, hi]`.
 ///
@@ -13,7 +13,11 @@ pub fn grid_min(mut f: impl FnMut(f64) -> f64, lo: f64, hi: f64, points: usize) 
     assert!(points >= 2, "need at least two grid points");
     assert!(lo <= hi, "invalid interval");
     let step = (hi - lo) / (points - 1) as f64;
-    let mut best = Min1d { x: lo, value: f(lo), evals: 1 };
+    let mut best = Min1d {
+        x: lo,
+        value: f(lo),
+        evals: 1,
+    };
     for k in 1..points {
         let x = lo + step * k as f64;
         let v = f(x);
@@ -28,6 +32,13 @@ pub fn grid_min(mut f: impl FnMut(f64) -> f64, lo: f64, hi: f64, points: usize) 
 
 /// Iteratively zooms a grid search: after each pass the interval shrinks to
 /// the two cells around the incumbent. `rounds` passes of `points` samples.
+///
+/// The incumbent is monotone: a zoom pass whose grid misses the previous
+/// minimum cannot degrade the returned value.
+///
+/// # Panics
+/// Panics when `rounds == 0` — a zero-round refinement would return an
+/// unevaluated infinity, which historically masked configuration bugs.
 pub fn refine_min(
     mut f: impl FnMut(f64) -> f64,
     mut lo: f64,
@@ -35,13 +46,20 @@ pub fn refine_min(
     points: usize,
     rounds: usize,
 ) -> Min1d {
-    let mut best = Min1d { x: lo, value: f64::INFINITY, evals: 0 };
+    assert!(rounds >= 1, "refine_min needs at least one round");
+    let mut best = Min1d {
+        x: lo,
+        value: f64::INFINITY,
+        evals: 0,
+    };
     for _ in 0..rounds {
         let step = (hi - lo) / (points - 1) as f64;
         let m = grid_min(&mut f, lo, hi, points);
         best.evals += m.evals;
-        best.x = m.x;
-        best.value = m.value;
+        if m.value < best.value {
+            best.x = m.x;
+            best.value = m.value;
+        }
         lo = (m.x - step).max(lo);
         hi = (m.x + step).min(hi);
         if hi - lo < f64::EPSILON * m.x.abs().max(1.0) {
@@ -49,19 +67,6 @@ pub fn refine_min(
         }
     }
     best
-}
-
-/// Result of a 2-D minimization.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct Min2d {
-    /// First coordinate of the minimum.
-    pub x: f64,
-    /// Second coordinate of the minimum.
-    pub y: f64,
-    /// Function value at the minimum.
-    pub value: f64,
-    /// Number of function evaluations spent.
-    pub evals: usize,
 }
 
 /// Exhaustive 2-D grid search on `[xlo,xhi] × [ylo,yhi]`.
@@ -72,9 +77,15 @@ pub fn grid_min_2d(
     points: usize,
 ) -> Min2d {
     assert!(points >= 2, "need at least two grid points");
+    assert!(xlo <= xhi && ylo <= yhi, "invalid interval");
     let dx = (xhi - xlo) / (points - 1) as f64;
     let dy = (yhi - ylo) / (points - 1) as f64;
-    let mut best = Min2d { x: xlo, y: ylo, value: f64::INFINITY, evals: 0 };
+    let mut best = Min2d {
+        x: xlo,
+        y: ylo,
+        value: f64::INFINITY,
+        evals: 0,
+    };
     for i in 0..points {
         let x = xlo + dx * i as f64;
         for j in 0..points {
@@ -82,8 +93,55 @@ pub fn grid_min_2d(
             let v = f(x, y);
             best.evals += 1;
             if v < best.value {
-                best = Min2d { x, y, value: v, evals: best.evals };
+                best = Min2d {
+                    x,
+                    y,
+                    value: v,
+                    evals: best.evals,
+                };
             }
+        }
+    }
+    best
+}
+
+/// 2-D counterpart of [`refine_min`]: `rounds` passes of a `points × points`
+/// grid, each pass zooming the box to the cells around the incumbent.
+///
+/// # Panics
+/// Panics when `rounds == 0` or either interval is inverted.
+pub fn refine_min_2d(
+    mut f: impl FnMut(f64, f64) -> f64,
+    (mut xlo, mut xhi): (f64, f64),
+    (mut ylo, mut yhi): (f64, f64),
+    points: usize,
+    rounds: usize,
+) -> Min2d {
+    assert!(rounds >= 1, "refine_min_2d needs at least one round");
+    assert!(xlo <= xhi && ylo <= yhi, "invalid interval");
+    let mut best = Min2d {
+        x: xlo,
+        y: ylo,
+        value: f64::INFINITY,
+        evals: 0,
+    };
+    for _ in 0..rounds {
+        let dx = (xhi - xlo) / (points - 1) as f64;
+        let dy = (yhi - ylo) / (points - 1) as f64;
+        let m = grid_min_2d(&mut f, (xlo, xhi), (ylo, yhi), points);
+        best.evals += m.evals;
+        if m.value < best.value {
+            best.x = m.x;
+            best.y = m.y;
+            best.value = m.value;
+        }
+        xlo = (m.x - dx).max(xlo);
+        xhi = (m.x + dx).min(xhi);
+        ylo = (m.y - dy).max(ylo);
+        yhi = (m.y + dy).min(yhi);
+        let scale = m.x.abs().max(m.y.abs()).max(1.0);
+        if (xhi - xlo).max(yhi - ylo) < f64::EPSILON * scale {
+            break;
         }
     }
     best
@@ -108,7 +166,12 @@ mod tests {
 
     #[test]
     fn grid_2d_finds_saddle_free_min() {
-        let m = grid_min_2d(|x, y| (x - 2.0).powi(2) + (y + 1.0).powi(2), (-5.0, 5.0), (-5.0, 5.0), 101);
+        let m = grid_min_2d(
+            |x, y| (x - 2.0).powi(2) + (y + 1.0).powi(2),
+            (-5.0, 5.0),
+            (-5.0, 5.0),
+            101,
+        );
         assert!(approx_eq(m.x, 2.0, 1e-1));
         assert!(approx_eq(m.y, -1.0, 1e-1));
     }
@@ -124,5 +187,51 @@ mod tests {
     fn refine_with_boundary_min() {
         let m = refine_min(|x| x, 1.0, 9.0, 11, 6);
         assert!(approx_eq(m.x, 1.0, 1e-3));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one round")]
+    fn refine_zero_rounds_panics() {
+        refine_min(|x| x, 0.0, 1.0, 11, 0);
+    }
+
+    #[test]
+    fn refine_single_round_equals_grid() {
+        let g = grid_min(|x| (x - 0.3).powi(2), 0.0, 1.0, 21);
+        let r = refine_min(|x| (x - 0.3).powi(2), 0.0, 1.0, 21, 1);
+        assert_eq!(g.x, r.x);
+        assert_eq!(g.value, r.value);
+        assert_eq!(g.evals, r.evals);
+    }
+
+    #[test]
+    fn refine_2d_converges_tightly() {
+        let m = refine_min_2d(
+            |x, y| (x - 12.34).powi(2) + (y - 56.78).powi(2),
+            (0.0, 100.0),
+            (0.0, 100.0),
+            33,
+            12,
+        );
+        assert!((m.x - 12.34).abs() < 1e-6, "got x = {}", m.x);
+        assert!((m.y - 56.78).abs() < 1e-6, "got y = {}", m.y);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one round")]
+    fn refine_2d_zero_rounds_panics() {
+        refine_min_2d(|x, _| x, (0.0, 1.0), (0.0, 1.0), 11, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid interval")]
+    fn grid_2d_rejects_inverted_interval() {
+        grid_min_2d(|x, y| x + y, (1.0, 0.0), (0.0, 1.0), 11);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid interval")]
+    fn refine_2d_rejects_inverted_interval() {
+        refine_min_2d(|x, y| x + y, (0.0, 1.0), (1.0, 0.0), 11, 3);
     }
 }

@@ -22,24 +22,48 @@ pub mod golden;
 pub mod grid;
 pub mod integer;
 pub mod matrix;
+pub mod minimize;
 pub mod roots;
 pub mod simplex;
 
 pub use golden::golden_section_min;
-pub use grid::{grid_min, grid_min_2d, refine_min};
+pub use grid::{grid_min, grid_min_2d, refine_min, refine_min_2d};
 pub use integer::{best_integer_neighbor, best_integer_pair};
 pub use matrix::{Matrix, SymMatrix};
-pub use roots::{bisect, newton};
-pub use simplex::minimize_quadratic_on_simplex;
+pub use minimize::{
+    Bracket, ConvexRounding, ExhaustiveScan, GoldenSection, GridSearch, IntMin1d,
+    IntegerMinimizer1d, Min1d, Min2d, Minimizer1d, Minimizer2d, RefinedGrid,
+};
+pub use roots::{bisect, newton, Bisection, RootFinder1d, SafeguardedNewton};
+pub use simplex::{minimize_quadratic_on_simplex, SimplexConfig};
+
+/// Ratio between the absolute floor of [`approx_eq`] and its relative
+/// tolerance: `approx_eq(a, b, tol)` accepts absolute differences up to
+/// `tol × ABS_FLOOR_RATIO` even when the relative test fails. The floor
+/// exists so comparisons of near-zero quantities (where any relative bound
+/// collapses) still succeed.
+pub const ABS_FLOOR_RATIO: f64 = 1e-6;
 
 /// Relative floating-point comparison with absolute floor.
 ///
-/// Returns `true` when `a` and `b` differ by at most `tol` in relative terms
-/// (or absolutely when both are tiny). Used pervasively by tests.
+/// Shorthand for [`approx_eq_eps`] with `rel_tol = tol` and
+/// `abs_tol = tol * `[`ABS_FLOOR_RATIO`]. Used pervasively by tests.
 pub fn approx_eq(a: f64, b: f64, tol: f64) -> bool {
+    approx_eq_eps(a, b, tol, tol * ABS_FLOOR_RATIO)
+}
+
+/// Floating-point comparison with independent relative and absolute
+/// tolerances.
+///
+/// Returns `true` when `|a − b| ≤ rel_tol · max(|a|, |b|)` or
+/// `|a − b| ≤ abs_tol`. Unlike [`approx_eq`], which derives its absolute
+/// floor from the relative tolerance, both thresholds are explicit here —
+/// in particular, `abs_tol = 0` gives a pure relative comparison with no
+/// hidden scale floor.
+pub fn approx_eq_eps(a: f64, b: f64, rel_tol: f64, abs_tol: f64) -> bool {
     let diff = (a - b).abs();
-    let scale = a.abs().max(b.abs()).max(1e-12);
-    diff <= tol * scale || diff <= tol * 1e-6
+    let scale = a.abs().max(b.abs());
+    diff <= rel_tol * scale || diff <= abs_tol
 }
 
 #[cfg(test)]
@@ -57,5 +81,26 @@ mod tests {
     #[test]
     fn approx_eq_is_symmetric() {
         assert_eq!(approx_eq(3.0, 3.001, 1e-3), approx_eq(3.001, 3.0, 1e-3));
+    }
+
+    #[test]
+    fn approx_eq_eps_separates_tolerances() {
+        // Relative test fails, explicit absolute tolerance catches it.
+        assert!(approx_eq_eps(1e-15, 2e-15, 1e-9, 1e-12));
+        assert!(!approx_eq_eps(1e-15, 2e-15, 1e-9, 1e-16));
+        // Relative test succeeds regardless of the absolute floor.
+        assert!(approx_eq_eps(1e6, 1e6 + 1.0, 1e-5, 0.0));
+        // abs_tol = 0 means pure relative: nothing is "close to zero" for
+        // free, however tiny.
+        assert!(!approx_eq_eps(0.0, 1e-16, 1e-3, 0.0));
+        assert!(approx_eq_eps(0.0, 0.0, 1e-3, 0.0));
+    }
+
+    #[test]
+    fn approx_eq_floor_matches_documented_ratio() {
+        let tol = 1e-6;
+        let diff = tol * ABS_FLOOR_RATIO;
+        assert!(approx_eq(0.0, 0.99 * diff, tol));
+        assert!(!approx_eq(0.0, 1.01 * diff, tol));
     }
 }

@@ -20,7 +20,11 @@ pub struct Matrix {
 impl Matrix {
     /// Creates a `rows × cols` zero matrix.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Self { rows, cols, data: vec![0.0; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Creates an `n × n` identity matrix.
@@ -60,9 +64,9 @@ impl Matrix {
     pub fn mul_vec(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(x.len(), self.cols, "dimension mismatch in mul_vec");
         let mut out = vec![0.0; self.rows];
-        for i in 0..self.rows {
+        for (i, o) in out.iter_mut().enumerate() {
             let row = &self.data[i * self.cols..(i + 1) * self.cols];
-            out[i] = row.iter().zip(x).map(|(a, b)| a * b).sum();
+            *o = row.iter().zip(x).map(|(a, b)| a * b).sum();
         }
         out
     }
@@ -81,7 +85,9 @@ impl Matrix {
     /// without changing the quadratic form (proof of Proposition 3).
     pub fn symmetric_part(&self) -> Matrix {
         assert_eq!(self.rows, self.cols, "symmetric part of non-square matrix");
-        Matrix::from_fn(self.rows, self.cols, |i, j| 0.5 * (self[(i, j)] + self[(j, i)]))
+        Matrix::from_fn(self.rows, self.cols, |i, j| {
+            0.5 * (self[(i, j)] + self[(j, i)])
+        })
     }
 }
 
@@ -155,8 +161,8 @@ impl SymMatrix {
         for i in 0..self.n {
             acc += self.get(i, i) * x[i] * x[i];
             let mut off = 0.0;
-            for j in (i + 1)..self.n {
-                off += self.get(i, j) * x[j];
+            for (j, &xj) in x.iter().enumerate().skip(i + 1) {
+                off += self.get(i, j) * xj;
             }
             acc += 2.0 * x[i] * off;
         }
@@ -167,12 +173,12 @@ impl SymMatrix {
     pub fn mul_vec(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(x.len(), self.n, "dimension mismatch in mul_vec");
         let mut out = vec![0.0; self.n];
-        for i in 0..self.n {
-            let mut s = 0.0;
-            for j in 0..self.n {
-                s += self.get(i, j) * x[j];
-            }
-            out[i] = s;
+        for (i, o) in out.iter_mut().enumerate() {
+            *o = x
+                .iter()
+                .enumerate()
+                .map(|(j, &xj)| self.get(i, j) * xj)
+                .sum();
         }
         out
     }
@@ -221,7 +227,13 @@ mod tests {
     #[test]
     fn symmetric_part_preserves_quadratic_form() {
         // The paper's M → (M+Mᵀ)/2 step: quadratic forms agree.
-        let m = Matrix::from_fn(4, 4, |i, j| if i > j { 0.3f64.powi((i - j) as i32) } else { 1.0 });
+        let m = Matrix::from_fn(4, 4, |i, j| {
+            if i > j {
+                0.3f64.powi((i - j) as i32)
+            } else {
+                1.0
+            }
+        });
         let s = m.symmetric_part();
         let x = [0.4, 0.1, 0.2, 0.3];
         assert!(approx_eq(m.quadratic_form(&x), s.quadratic_form(&x), 1e-12));
@@ -233,7 +245,11 @@ mod tests {
         let sym = recall_matrix(5, r);
         let dense = sym.to_dense();
         let x = [0.25, 0.2, 0.1, 0.2, 0.25];
-        assert!(approx_eq(sym.quadratic_form(&x), dense.quadratic_form(&x), 1e-12));
+        assert!(approx_eq(
+            sym.quadratic_form(&x),
+            dense.quadratic_form(&x),
+            1e-12
+        ));
         for i in 0..5 {
             for j in 0..5 {
                 assert!(approx_eq(sym.get(i, j), dense[(i, j)], 1e-15));

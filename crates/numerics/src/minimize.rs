@@ -1,0 +1,327 @@
+//! Unified optimizer layer: one vocabulary ([`Bracket`], [`Min1d`], [`Min2d`])
+//! and strategy traits ([`Minimizer1d`], [`Minimizer2d`], [`IntegerMinimizer1d`])
+//! over the concrete algorithms in [`golden`](crate::golden),
+//! [`grid`](crate::grid) and [`integer`](crate::integer).
+//!
+//! Callers that only need "a minimum of this convex overhead function" pick a
+//! strategy value and stay agnostic of the module that implements it; the
+//! `resilience` crate certifies every closed-form optimum of the paper against
+//! at least two strategies through these traits.
+
+use crate::golden::golden_section_min;
+use crate::grid::{grid_min, grid_min_2d, refine_min, refine_min_2d};
+use crate::integer::{best_integer_neighbor, exhaustive_integer_min};
+
+/// Inclusive search interval `[lo, hi]` for 1-D minimization.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Bracket {
+    /// Lower end of the interval.
+    pub lo: f64,
+    /// Upper end of the interval.
+    pub hi: f64,
+}
+
+impl Bracket {
+    /// Creates a bracket.
+    ///
+    /// # Panics
+    /// Panics when `lo > hi` or either bound is not finite.
+    pub fn new(lo: f64, hi: f64) -> Self {
+        assert!(
+            lo.is_finite() && hi.is_finite(),
+            "bracket bounds must be finite"
+        );
+        assert!(lo <= hi, "invalid bracket: lo > hi");
+        Self { lo, hi }
+    }
+
+    /// Interval width `hi − lo`.
+    pub fn width(&self) -> f64 {
+        self.hi - self.lo
+    }
+
+    /// Interval midpoint.
+    pub fn midpoint(&self) -> f64 {
+        0.5 * (self.lo + self.hi)
+    }
+
+    /// Whether `x` lies inside the bracket.
+    pub fn contains(&self, x: f64) -> bool {
+        self.lo <= x && x <= self.hi
+    }
+}
+
+/// Result of a 1-D minimization.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Min1d {
+    /// Argument of the minimum.
+    pub x: f64,
+    /// Function value at the minimum.
+    pub value: f64,
+    /// Number of function evaluations spent.
+    pub evals: usize,
+}
+
+/// Result of a 2-D minimization.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Min2d {
+    /// First coordinate of the minimum.
+    pub x: f64,
+    /// Second coordinate of the minimum.
+    pub y: f64,
+    /// Function value at the minimum.
+    pub value: f64,
+    /// Number of function evaluations spent.
+    pub evals: usize,
+}
+
+/// Result of a 1-D minimization over the integers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IntMin1d {
+    /// Argument of the minimum.
+    pub n: u64,
+    /// Function value at the minimum.
+    pub value: f64,
+    /// Number of function evaluations spent (continuous + integer).
+    pub evals: usize,
+}
+
+/// Strategy interface for continuous 1-D minimization on a bracket.
+pub trait Minimizer1d {
+    /// Minimizes `f` on `bracket`.
+    fn minimize(&self, f: &mut dyn FnMut(f64) -> f64, bracket: Bracket) -> Min1d;
+}
+
+/// Strategy interface for continuous 2-D minimization on a box.
+pub trait Minimizer2d {
+    /// Minimizes `f` on `x_bracket × y_bracket`.
+    fn minimize_2d(&self, f: &mut dyn FnMut(f64, f64) -> f64, x: Bracket, y: Bracket) -> Min2d;
+}
+
+/// Strategy interface for 1-D minimization over integers in `[lo, hi]`.
+pub trait IntegerMinimizer1d {
+    /// Minimizes the integer restriction of `f` on `[lo, hi]`. The objective
+    /// is supplied as a continuous function so strategies may relax it.
+    fn minimize_int(&self, f: &mut dyn FnMut(f64) -> f64, lo: u64, hi: u64) -> IntMin1d;
+}
+
+/// Golden-section search; assumes a unimodal objective.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GoldenSection {
+    /// Absolute x-tolerance at convergence.
+    pub tol: f64,
+}
+
+impl Default for GoldenSection {
+    fn default() -> Self {
+        Self { tol: 1e-10 }
+    }
+}
+
+impl Minimizer1d for GoldenSection {
+    fn minimize(&self, f: &mut dyn FnMut(f64) -> f64, bracket: Bracket) -> Min1d {
+        golden_section_min(f, bracket.lo, bracket.hi, self.tol)
+    }
+}
+
+/// Single-pass equispaced grid search; robust to multimodal objectives at
+/// grid resolution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GridSearch {
+    /// Number of samples per axis (≥ 2).
+    pub points: usize,
+}
+
+impl Default for GridSearch {
+    fn default() -> Self {
+        Self { points: 1001 }
+    }
+}
+
+impl Minimizer1d for GridSearch {
+    fn minimize(&self, f: &mut dyn FnMut(f64) -> f64, bracket: Bracket) -> Min1d {
+        grid_min(f, bracket.lo, bracket.hi, self.points)
+    }
+}
+
+impl Minimizer2d for GridSearch {
+    fn minimize_2d(&self, f: &mut dyn FnMut(f64, f64) -> f64, x: Bracket, y: Bracket) -> Min2d {
+        grid_min_2d(f, (x.lo, x.hi), (y.lo, y.hi), self.points)
+    }
+}
+
+/// Iteratively zooming grid search: `rounds` passes of `points` samples, each
+/// pass shrinking to the two cells around the incumbent.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RefinedGrid {
+    /// Samples per pass (≥ 2).
+    pub points: usize,
+    /// Number of zoom passes (≥ 1).
+    pub rounds: usize,
+}
+
+impl Default for RefinedGrid {
+    fn default() -> Self {
+        Self {
+            points: 65,
+            rounds: 12,
+        }
+    }
+}
+
+impl Minimizer1d for RefinedGrid {
+    fn minimize(&self, f: &mut dyn FnMut(f64) -> f64, bracket: Bracket) -> Min1d {
+        refine_min(f, bracket.lo, bracket.hi, self.points, self.rounds)
+    }
+}
+
+impl Minimizer2d for RefinedGrid {
+    fn minimize_2d(&self, f: &mut dyn FnMut(f64, f64) -> f64, x: Bracket, y: Bracket) -> Min2d {
+        refine_min_2d(f, (x.lo, x.hi), (y.lo, y.hi), self.points, self.rounds)
+    }
+}
+
+/// Exhaustive integer scan of `[lo, hi]`; linear cost, exact.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExhaustiveScan;
+
+impl IntegerMinimizer1d for ExhaustiveScan {
+    fn minimize_int(&self, f: &mut dyn FnMut(f64) -> f64, lo: u64, hi: u64) -> IntMin1d {
+        let (n, value) = exhaustive_integer_min(|n| f(n as f64), lo, hi);
+        IntMin1d {
+            n,
+            value,
+            evals: (hi - lo + 1) as usize,
+        }
+    }
+}
+
+/// Convex integer rounding: minimize the continuous relaxation with an inner
+/// [`Minimizer1d`], then evaluate the floor/ceil neighbours — exactly the
+/// rounding rule Theorems 2–4 of the paper prescribe for their convex
+/// overhead functions.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ConvexRounding<M> {
+    /// Strategy used on the continuous relaxation.
+    pub relax: M,
+}
+
+impl<M: Minimizer1d> IntegerMinimizer1d for ConvexRounding<M> {
+    fn minimize_int(&self, f: &mut dyn FnMut(f64) -> f64, lo: u64, hi: u64) -> IntMin1d {
+        let bracket = Bracket::new(lo as f64, hi as f64);
+        let cont = self.relax.minimize(f, bracket);
+        // Clamping keeps floor/ceil neighbours inside [lo, hi], so the
+        // rounding step needs no further bounds checks.
+        let x_star = cont.x.clamp(lo as f64, hi as f64);
+        let mut rounding_evals = 0;
+        let (n, value) = best_integer_neighbor(
+            |n| {
+                rounding_evals += 1;
+                f(n as f64)
+            },
+            x_star,
+            lo,
+        );
+        IntMin1d {
+            n,
+            value,
+            evals: cont.evals + rounding_evals,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+
+    fn convex(x: f64) -> f64 {
+        (x - 37.3).powi(2) + 5.0
+    }
+
+    #[test]
+    fn strategies_agree_on_convex_objective() {
+        let bracket = Bracket::new(0.0, 100.0);
+        let strategies: Vec<Box<dyn Minimizer1d>> = vec![
+            Box::new(GoldenSection { tol: 1e-10 }),
+            Box::new(GridSearch { points: 100_001 }),
+            Box::new(RefinedGrid {
+                points: 65,
+                rounds: 14,
+            }),
+        ];
+        for s in &strategies {
+            let m = s.minimize(&mut |x| convex(x), bracket);
+            assert!(approx_eq(m.x, 37.3, 1e-3), "x = {}", m.x);
+            assert!(approx_eq(m.value, 5.0, 1e-6), "value = {}", m.value);
+        }
+    }
+
+    #[test]
+    fn minimizer_2d_strategies_agree() {
+        let f = |x: f64, y: f64| (x - 2.0).powi(2) + (y + 1.5).powi(2);
+        let bx = Bracket::new(-10.0, 10.0);
+        let by = Bracket::new(-10.0, 10.0);
+        let coarse = GridSearch { points: 201 }.minimize_2d(&mut f.clone(), bx, by);
+        let refined = RefinedGrid {
+            points: 33,
+            rounds: 10,
+        }
+        .minimize_2d(&mut f.clone(), bx, by);
+        assert!(approx_eq(coarse.x, 2.0, 1e-1));
+        assert!(approx_eq(refined.x, 2.0, 1e-6), "refined x = {}", refined.x);
+        assert!(
+            approx_eq(refined.y, -1.5, 1e-6),
+            "refined y = {}",
+            refined.y
+        );
+        assert!(refined.value <= coarse.value + 1e-12);
+    }
+
+    #[test]
+    fn convex_rounding_matches_exhaustive() {
+        // Paper-shaped hyperbolic objective (mV* + C)(c + d/m).
+        let mut f = |m: f64| (m * 20.0 + 300.0) * (3.0e-6 + 5.0e-6 / m);
+        let rounded = ConvexRounding {
+            relax: GoldenSection { tol: 1e-9 },
+        }
+        .minimize_int(&mut f, 1, 10_000);
+        let exact = ExhaustiveScan.minimize_int(&mut f, 1, 10_000);
+        assert_eq!(rounded.n, exact.n);
+        assert!(approx_eq(rounded.value, exact.value, 1e-12));
+        assert!(
+            rounded.evals < exact.evals,
+            "rounding should be far cheaper"
+        );
+    }
+
+    #[test]
+    fn convex_rounding_respects_bounds() {
+        let mut f = |x: f64| x; // minimum at the lower bound
+        let m = ConvexRounding {
+            relax: GoldenSection::default(),
+        }
+        .minimize_int(&mut f, 3, 9);
+        assert_eq!(m.n, 3);
+        let mut g = |x: f64| -x; // maximum slope down: clamps at upper bound
+        let m = ConvexRounding {
+            relax: GoldenSection::default(),
+        }
+        .minimize_int(&mut g, 3, 9);
+        assert_eq!(m.n, 9);
+    }
+
+    #[test]
+    fn bracket_accessors() {
+        let b = Bracket::new(2.0, 6.0);
+        assert_eq!(b.width(), 4.0);
+        assert_eq!(b.midpoint(), 4.0);
+        assert!(b.contains(2.0) && b.contains(6.0) && !b.contains(6.1));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid bracket")]
+    fn bracket_rejects_inverted() {
+        Bracket::new(1.0, 0.0);
+    }
+}

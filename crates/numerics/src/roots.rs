@@ -56,7 +56,10 @@ pub fn newton(mut f: impl FnMut(f64) -> f64, x0: f64, lo: f64, hi: f64, tol: f64
     if fb == 0.0 {
         return b;
     }
-    assert!(fa.signum() != fb.signum(), "newton: interval does not bracket a root");
+    assert!(
+        fa.signum() != fb.signum(),
+        "newton: interval does not bracket a root"
+    );
     for _ in 0..200 {
         let fx = f(x);
         if fx.abs() < tol {
@@ -72,12 +75,70 @@ pub fn newton(mut f: impl FnMut(f64) -> f64, x0: f64, lo: f64, hi: f64, tol: f64
         let h = (x.abs() * 1e-7).max(1e-12);
         let d = (f(x + h) - f(x - h)) / (2.0 * h);
         let next = if d != 0.0 { x - fx / d } else { f64::NAN };
-        x = if next.is_finite() && next > a && next < b { next } else { 0.5 * (a + b) };
+        x = if next.is_finite() && next > a && next < b {
+            next
+        } else {
+            0.5 * (a + b)
+        };
         if b - a < tol {
             return 0.5 * (a + b);
         }
     }
     x
+}
+
+use crate::minimize::Bracket;
+
+/// Strategy interface for 1-D root finding on a bracketing interval, the
+/// root-finding counterpart of [`Minimizer1d`](crate::minimize::Minimizer1d).
+pub trait RootFinder1d {
+    /// Finds a root of `f` inside `bracket` (which must bracket a sign
+    /// change).
+    fn find_root(&self, f: &mut dyn FnMut(f64) -> f64, bracket: Bracket) -> f64;
+}
+
+/// Plain bisection; linear convergence, unconditionally robust.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Bisection {
+    /// Absolute x-tolerance at convergence.
+    pub tol: f64,
+}
+
+impl Default for Bisection {
+    fn default() -> Self {
+        Self { tol: 1e-12 }
+    }
+}
+
+impl RootFinder1d for Bisection {
+    fn find_root(&self, f: &mut dyn FnMut(f64) -> f64, bracket: Bracket) -> f64 {
+        bisect(f, bracket.lo, bracket.hi, self.tol)
+    }
+}
+
+/// Newton's method with numerical derivative, safeguarded by bisection.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SafeguardedNewton {
+    /// Residual/interval tolerance at convergence.
+    pub tol: f64,
+    /// Starting point; the bracket midpoint when `None`.
+    pub x0: Option<f64>,
+}
+
+impl Default for SafeguardedNewton {
+    fn default() -> Self {
+        Self {
+            tol: 1e-12,
+            x0: None,
+        }
+    }
+}
+
+impl RootFinder1d for SafeguardedNewton {
+    fn find_root(&self, f: &mut dyn FnMut(f64) -> f64, bracket: Bracket) -> f64 {
+        let x0 = self.x0.unwrap_or_else(|| bracket.midpoint());
+        newton(f, x0, bracket.lo, bracket.hi, self.tol)
+    }
 }
 
 #[cfg(test)]
@@ -113,6 +174,23 @@ mod tests {
     #[should_panic(expected = "does not bracket")]
     fn bisect_requires_bracket() {
         bisect(|x| x * x + 1.0, -1.0, 1.0, 1e-9);
+    }
+
+    #[test]
+    fn root_finder_strategies_agree() {
+        let bracket = Bracket::new(0.0, 2.0);
+        let finders: Vec<Box<dyn RootFinder1d>> = vec![
+            Box::new(Bisection::default()),
+            Box::new(SafeguardedNewton::default()),
+            Box::new(SafeguardedNewton {
+                tol: 1e-12,
+                x0: Some(1.9),
+            }),
+        ];
+        for finder in &finders {
+            let r = finder.find_root(&mut |x| x * x - 2.0, bracket);
+            assert!(approx_eq(r, std::f64::consts::SQRT_2, 1e-9), "got {r}");
+        }
     }
 
     #[test]

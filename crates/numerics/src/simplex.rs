@@ -46,6 +46,34 @@ pub struct SimplexMin {
     pub iters: usize,
 }
 
+/// Solver configuration for [`minimize_quadratic_on_simplex`], the simplex
+/// counterpart of the optimizer-strategy structs in
+/// [`minimize`](crate::minimize).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimplexConfig {
+    /// Iteration budget for projected gradient descent.
+    pub max_iters: usize,
+    /// Relative decrease threshold at convergence.
+    pub tol: f64,
+}
+
+impl Default for SimplexConfig {
+    fn default() -> Self {
+        Self {
+            max_iters: 200_000,
+            tol: 1e-14,
+        }
+    }
+}
+
+impl SimplexConfig {
+    /// Minimizes `xᵀ A x` over the probability simplex with this
+    /// configuration.
+    pub fn minimize(&self, a: &SymMatrix) -> SimplexMin {
+        minimize_quadratic_on_simplex(a, self.max_iters, self.tol)
+    }
+}
+
 /// Minimizes `xᵀ A x` over the probability simplex by projected gradient
 /// descent with fixed step `1/L`, `L` estimated from the matrix entries
 /// (row-sum bound on the spectral norm of `2A`).
@@ -64,17 +92,29 @@ pub fn minimize_quadratic_on_simplex(a: &SymMatrix, max_iters: usize, tol: f64) 
     let mut value = a.quadratic_form(&x);
     for it in 0..max_iters {
         let grad = a.mul_vec(&x); // ∇(xᵀAx)/2; constant factor folds into step
-        let moved: Vec<f64> = x.iter().zip(&grad).map(|(xi, g)| xi - 2.0 * step * g).collect();
+        let moved: Vec<f64> = x
+            .iter()
+            .zip(&grad)
+            .map(|(xi, g)| xi - 2.0 * step * g)
+            .collect();
         let next = project_to_simplex(&moved);
         let next_value = a.quadratic_form(&next);
         let delta = (value - next_value).abs();
         x = next;
         value = next_value;
         if delta < tol * value.abs().max(1e-300) {
-            return SimplexMin { x, value, iters: it + 1 };
+            return SimplexMin {
+                x,
+                value,
+                iters: it + 1,
+            };
         }
     }
-    SimplexMin { x, value, iters: max_iters }
+    SimplexMin {
+        x,
+        value,
+        iters: max_iters,
+    }
 }
 
 #[cfg(test)]
@@ -129,6 +169,18 @@ mod tests {
         assert!(got.x[0] > got.x[2]);
         assert!(approx_eq(got.x[0], 1.0 / denom, 1e-3));
         assert!(approx_eq(got.x[2], r / denom, 1e-3));
+    }
+
+    #[test]
+    fn config_minimize_matches_free_function() {
+        let a = recall_matrix(4, 0.6);
+        let cfg = SimplexConfig {
+            max_iters: 100_000,
+            tol: 1e-14,
+        };
+        let via_cfg = cfg.minimize(&a);
+        let via_fn = minimize_quadratic_on_simplex(&a, 100_000, 1e-14);
+        assert_eq!(via_cfg, via_fn);
     }
 
     #[test]

@@ -1,0 +1,191 @@
+//! Scenario sweeps: analytic vs simulated overhead tables.
+//!
+//! ```text
+//! resilience-cli [sweep|nodes|mtbf|recall] [--reps N] [--threads N] [--seed S]
+//! ```
+//!
+//! * `sweep`  — the three reference scenarios × Theorems 1–4 (default);
+//! * `nodes`  — node-count sweep at fixed per-node MTBFs (Theorem 4);
+//! * `mtbf`   — per-node MTBF sweep at fixed node count (Theorem 4);
+//! * `recall` — partial-verification accuracy sweep (Theorem 4).
+//!
+//! Overheads are percentages; checkpoint and recovery frequencies use the
+//! paper's per-hour / per-day units.
+
+use resilience::{
+    reference_scenarios, theorem1, theorem2, theorem3, theorem4, CostModel, PatternOptimum,
+    Platform, Scenario,
+};
+use sim::{run_replications, RunConfig};
+use stats::rates::YEAR;
+
+struct Args {
+    command: String,
+    reps: u64,
+    threads: usize,
+    seed: u64,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        command: "sweep".to_string(),
+        reps: 4_000,
+        threads: 4,
+        seed: 0xc0de,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "sweep" | "nodes" | "mtbf" | "recall" => args.command = argv[i].clone(),
+            "--reps" => args.reps = parse_num(&take_value(&argv, &mut i)),
+            "--threads" => args.threads = parse_num(&take_value(&argv, &mut i)) as usize,
+            "--seed" => args.seed = parse_num(&take_value(&argv, &mut i)),
+            "--help" | "-h" => {
+                println!(
+                    "usage: resilience-cli [sweep|nodes|mtbf|recall] \
+                     [--reps N] [--threads N] [--seed S]"
+                );
+                std::process::exit(0);
+            }
+            other => die(&format!("unknown argument: {other}")),
+        }
+        i += 1;
+    }
+    args
+}
+
+fn take_value(argv: &[String], i: &mut usize) -> String {
+    *i += 1;
+    match argv.get(*i) {
+        Some(v) => v.clone(),
+        None => die(&format!("missing value for {}", argv[*i - 1])),
+    }
+}
+
+fn parse_num(s: &str) -> u64 {
+    match s.parse() {
+        Ok(n) => n,
+        Err(_) => die(&format!("not a number: {s}")),
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("resilience-cli: {msg}");
+    std::process::exit(2)
+}
+
+/// Writes one stdout line, exiting quietly when the downstream pipe closes
+/// (`sweep | head` must not panic).
+fn out(line: &str) {
+    use std::io::Write;
+    if writeln!(std::io::stdout(), "{line}").is_err() {
+        std::process::exit(0);
+    }
+}
+
+fn header() {
+    // The sim column must match row()'s "{:>10.3} ± {:>5.3}" = 18 chars.
+    out(&format!(
+        "{:<12} {:<9} {:>3} {:>3} {:>9} {:>9} {:>18} {:>8} {:>8}",
+        "scenario", "pattern", "m", "n", "W*(s)", "H*(%)", "sim(%) ± ci", "ckpt/h", "rec/d"
+    ));
+    out(&"-".repeat(87));
+}
+
+fn row(
+    name: &str,
+    label: &str,
+    opt: &PatternOptimum,
+    p: &Platform,
+    c: &CostModel,
+    cfg: &RunConfig,
+) {
+    let report = run_replications(&opt.pattern, p, c, cfg);
+    let m = opt.pattern.guaranteed_verifs();
+    let n = opt.pattern.partial_verifs().checked_div(m).unwrap_or(0);
+    out(&format!(
+        "{:<12} {:<9} {:>3} {:>3} {:>9.0} {:>9.3} {:>10.3} ± {:>5.3} {:>8.2} {:>8.2}",
+        name,
+        label,
+        m,
+        n,
+        opt.work(),
+        100.0 * opt.overhead,
+        100.0 * report.overhead.mean,
+        100.0 * report.overhead.ci95,
+        report.checkpoints_per_hour(),
+        report.recoveries_per_day(),
+    ));
+}
+
+fn theorem_rows(s: &Scenario, cfg: &RunConfig) {
+    let (p, c) = (&s.platform, &s.costs);
+    row(s.name, "theorem1", &theorem1(p, c), p, c, cfg);
+    row(s.name, "theorem2", &theorem2(p, c), p, c, cfg);
+    row(s.name, "theorem3", &theorem3(p, c), p, c, cfg);
+    row(s.name, "theorem4", &theorem4(p, c), p, c, cfg);
+}
+
+fn main() {
+    let args = parse_args();
+    let cfg = RunConfig {
+        replications: args.reps,
+        threads: args.threads,
+        seed: args.seed,
+    };
+    header();
+    match args.command.as_str() {
+        "sweep" => {
+            for s in reference_scenarios() {
+                theorem_rows(&s, &cfg);
+            }
+        }
+        "nodes" => {
+            for nodes in [1_000u64, 5_000, 10_000, 50_000] {
+                let name = format!("{nodes}n");
+                let platform = Platform::from_nodes(100.0 * YEAR, 40.0 * YEAR, nodes);
+                let costs = CostModel::new(60.0, 60.0, 30.0, 3.0, 0.5);
+                row(
+                    &name,
+                    "theorem4",
+                    &theorem4(&platform, &costs),
+                    &platform,
+                    &costs,
+                    &cfg,
+                );
+            }
+        }
+        "mtbf" => {
+            for years in [25.0f64, 50.0, 100.0, 200.0] {
+                let name = format!("{years:.0}y");
+                let platform = Platform::from_nodes(years * YEAR, 0.4 * years * YEAR, 10_000);
+                let costs = CostModel::new(60.0, 60.0, 30.0, 3.0, 0.5);
+                row(
+                    &name,
+                    "theorem4",
+                    &theorem4(&platform, &costs),
+                    &platform,
+                    &costs,
+                    &cfg,
+                );
+            }
+        }
+        "recall" => {
+            for recall in [0.2f64, 0.5, 0.8, 0.95] {
+                let name = format!("r={recall}");
+                let platform = Platform::new(9.46e-7, 3.38e-6);
+                let costs = CostModel::new(300.0, 300.0, 100.0, 20.0, recall);
+                row(
+                    &name,
+                    "theorem4",
+                    &theorem4(&platform, &costs),
+                    &platform,
+                    &costs,
+                    &cfg,
+                );
+            }
+        }
+        other => die(&format!("unknown command: {other}")),
+    }
+}

@@ -1,0 +1,29 @@
+//! Resilience-pattern domain model for the paper's checkpoint/verification
+//! framework under fail-stop and silent errors.
+//!
+//! * [`platform`] — [`Platform`] error rates and the [`CostModel`]
+//!   (C, R, V*, partial v with recall r);
+//! * [`pattern`] — the [`Pattern`] variants of Theorems 1–4 and their
+//!   compiled chunk form consumed by evaluators and the simulator;
+//! * [`overhead`] — first-order expected-overhead evaluators
+//!   `H = o_ef/W + o_rw·W`, with the silent re-execution fraction computed
+//!   through the `βᵀAβ` quadratic form of Proposition 3;
+//! * [`optimal`] — closed-form optima for Theorems 1–4 (plus the Young/Daly
+//!   baseline), Eq. (18) chunk sizes, and convex integer rounding.
+//!
+//! Every closed form is cross-checked against the unified numeric optimizers
+//! of the `numerics` crate in `tests/consistency.rs`.
+
+pub mod optimal;
+pub mod overhead;
+pub mod pattern;
+pub mod platform;
+pub mod scenario;
+
+pub use optimal::{
+    eq18_chunks, eq18_value, theorem1, theorem2, theorem3, theorem4, young_daly, PatternOptimum,
+};
+pub use overhead::{error_free_cost, first_order_overhead, reexec_rate, silent_reexec_fraction};
+pub use pattern::{CompiledChunk, CompiledPattern, Pattern, VerifyKind};
+pub use platform::{CostModel, Platform};
+pub use scenario::{reference_scenarios, validation_scenarios, Scenario};

@@ -1,0 +1,361 @@
+//! Resilience patterns: the unit of work the paper optimizes.
+//!
+//! A pattern is a quantum of `work` seconds of computation protected by a
+//! trailing checkpoint, with verifications interleaved so silent errors are
+//! caught before they can be committed. The four variants mirror the paper's
+//! Theorems 1–4; [`Pattern::compile`] lowers any variant to a flat chunk
+//! list that both the analytic evaluators and the Monte-Carlo engine
+//! consume.
+
+/// Kind of verification closing a chunk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VerifyKind {
+    /// Partial verification: cost v, detects existing corruption with
+    /// probability `recall`.
+    Partial,
+    /// Guaranteed verification: cost V*, detects corruption with certainty.
+    Guaranteed,
+}
+
+/// One compiled chunk: `work` seconds of computation followed by an optional
+/// verification.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CompiledChunk {
+    /// Computation time of the chunk, in seconds.
+    pub work: f64,
+    /// Verification closing the chunk, if any.
+    pub verify: Option<VerifyKind>,
+}
+
+/// A pattern lowered to its flat execution form: chunks in order, then an
+/// implicit checkpoint. `verified` records whether the final chunk ends in a
+/// guaranteed verification (true for every variant except
+/// [`Pattern::Checkpoint`]), i.e. whether the trailing checkpoint is
+/// guaranteed to store uncorrupted data.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompiledPattern {
+    /// Chunks in execution order.
+    pub chunks: Vec<CompiledChunk>,
+    /// Total computation time Σ work.
+    pub total_work: f64,
+    /// Whether the pattern ends with a guaranteed verification.
+    pub verified: bool,
+}
+
+/// A resilience pattern over `work` seconds of computation.
+///
+/// Chunk vectors hold fractions that must be positive and sum to 1 (the
+/// paper's `β`); [`Pattern::compile`] validates them.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Pattern {
+    /// Periodic checkpoint without verification — the classic Young/Daly
+    /// pattern, meaningful on platforms without silent errors.
+    Checkpoint {
+        /// Work per pattern, seconds.
+        work: f64,
+    },
+    /// Work, guaranteed verification, checkpoint (Theorem 1).
+    VerifiedCheckpoint {
+        /// Work per pattern, seconds.
+        work: f64,
+    },
+    /// `segments` equal segments, each closed by a guaranteed verification;
+    /// checkpoint after the last (Theorem 2).
+    GuaranteedSegments {
+        /// Work per pattern, seconds.
+        work: f64,
+        /// Number of segments m ≥ 1.
+        segments: u64,
+    },
+    /// Chunks of fractions `chunks` separated by partial verifications, with
+    /// a guaranteed verification and checkpoint at the end (Theorem 3).
+    PartialChunks {
+        /// Work per pattern, seconds.
+        work: f64,
+        /// Chunk fractions β (positive, summing to 1).
+        chunks: Vec<f64>,
+    },
+    /// `segments` equal sub-segments each closed by a guaranteed
+    /// verification; inside every sub-segment, chunks of fractions `chunks`
+    /// separated by partial verifications; checkpoint at the very end
+    /// (Theorem 4).
+    Combined {
+        /// Work per pattern, seconds.
+        work: f64,
+        /// Number of guaranteed-verification sub-segments m ≥ 1.
+        segments: u64,
+        /// Chunk fractions β within each sub-segment (positive, summing
+        /// to 1).
+        chunks: Vec<f64>,
+    },
+}
+
+fn check_chunks(chunks: &[f64]) {
+    assert!(!chunks.is_empty(), "pattern needs at least one chunk");
+    let sum: f64 = chunks.iter().sum();
+    assert!(
+        chunks.iter().all(|&b| b > 0.0),
+        "chunk fractions must be positive"
+    );
+    assert!(
+        (sum - 1.0).abs() < 1e-9,
+        "chunk fractions must sum to 1 (got {sum})"
+    );
+}
+
+impl Pattern {
+    /// Total computation time of the pattern, in seconds.
+    pub fn work(&self) -> f64 {
+        match *self {
+            Pattern::Checkpoint { work }
+            | Pattern::VerifiedCheckpoint { work }
+            | Pattern::GuaranteedSegments { work, .. }
+            | Pattern::PartialChunks { work, .. }
+            | Pattern::Combined { work, .. } => work,
+        }
+    }
+
+    /// Returns a copy of the pattern with its work rescaled to `work`.
+    pub fn with_work(&self, work: f64) -> Pattern {
+        let mut p = self.clone();
+        match &mut p {
+            Pattern::Checkpoint { work: w }
+            | Pattern::VerifiedCheckpoint { work: w }
+            | Pattern::GuaranteedSegments { work: w, .. }
+            | Pattern::PartialChunks { work: w, .. }
+            | Pattern::Combined { work: w, .. } => *w = work,
+        }
+        p
+    }
+
+    /// Number of guaranteed verifications per pattern.
+    pub fn guaranteed_verifs(&self) -> u64 {
+        match *self {
+            Pattern::Checkpoint { .. } => 0,
+            Pattern::VerifiedCheckpoint { .. } | Pattern::PartialChunks { .. } => 1,
+            Pattern::GuaranteedSegments { segments, .. } | Pattern::Combined { segments, .. } => {
+                segments
+            }
+        }
+    }
+
+    /// Number of partial verifications per pattern. (Saturating: an empty —
+    /// invalid — chunk vector reports 0 rather than wrapping; [`validate`]
+    /// is the loud rejection path.)
+    ///
+    /// [`validate`]: Pattern::validate
+    pub fn partial_verifs(&self) -> u64 {
+        match *self {
+            Pattern::Checkpoint { .. }
+            | Pattern::VerifiedCheckpoint { .. }
+            | Pattern::GuaranteedSegments { .. } => 0,
+            Pattern::PartialChunks { ref chunks, .. } => chunks.len().saturating_sub(1) as u64,
+            Pattern::Combined {
+                segments,
+                ref chunks,
+                ..
+            } => segments * chunks.len().saturating_sub(1) as u64,
+        }
+    }
+
+    /// Checks the pattern's structural invariants: positive finite work,
+    /// at least one segment, and chunk fractions that are positive and sum
+    /// to 1. Called by [`compile`](Pattern::compile) and by the analytic
+    /// evaluators, so invalid patterns fail loudly on both the simulated
+    /// and the analytic path.
+    ///
+    /// # Panics
+    /// Panics when any invariant is violated.
+    pub fn validate(&self) {
+        let work = self.work();
+        assert!(
+            work > 0.0 && work.is_finite(),
+            "pattern work must be positive"
+        );
+        match *self {
+            Pattern::Checkpoint { .. } | Pattern::VerifiedCheckpoint { .. } => {}
+            Pattern::GuaranteedSegments { segments, .. } => {
+                assert!(segments >= 1, "need at least one segment");
+            }
+            Pattern::PartialChunks {
+                chunks: ref beta, ..
+            } => check_chunks(beta),
+            Pattern::Combined {
+                segments,
+                chunks: ref beta,
+                ..
+            } => {
+                assert!(segments >= 1, "need at least one segment");
+                check_chunks(beta);
+            }
+        }
+    }
+
+    /// Lowers the pattern to its flat chunk list.
+    ///
+    /// # Panics
+    /// Panics on non-positive work, zero segment counts, or invalid chunk
+    /// fraction vectors (see [`validate`](Pattern::validate)).
+    pub fn compile(&self) -> CompiledPattern {
+        self.validate();
+        let work = self.work();
+        let mut chunks = Vec::new();
+        match *self {
+            Pattern::Checkpoint { .. } => {
+                chunks.push(CompiledChunk { work, verify: None });
+            }
+            Pattern::VerifiedCheckpoint { .. } => {
+                chunks.push(CompiledChunk {
+                    work,
+                    verify: Some(VerifyKind::Guaranteed),
+                });
+            }
+            Pattern::GuaranteedSegments { segments, .. } => {
+                let w = work / segments as f64;
+                for _ in 0..segments {
+                    chunks.push(CompiledChunk {
+                        work: w,
+                        verify: Some(VerifyKind::Guaranteed),
+                    });
+                }
+            }
+            Pattern::PartialChunks {
+                chunks: ref beta, ..
+            } => {
+                push_segment(&mut chunks, beta, work);
+            }
+            Pattern::Combined {
+                segments,
+                chunks: ref beta,
+                ..
+            } => {
+                let w = work / segments as f64;
+                for _ in 0..segments {
+                    push_segment(&mut chunks, beta, w);
+                }
+            }
+        }
+        let verified = matches!(
+            chunks.last(),
+            Some(CompiledChunk {
+                verify: Some(VerifyKind::Guaranteed),
+                ..
+            })
+        );
+        CompiledPattern {
+            chunks,
+            total_work: work,
+            verified,
+        }
+    }
+}
+
+/// Appends one verified segment of `segment_work` seconds split into `beta`
+/// fractions, partial verifications between chunks and a guaranteed
+/// verification after the last.
+fn push_segment(out: &mut Vec<CompiledChunk>, beta: &[f64], segment_work: f64) {
+    for (i, &b) in beta.iter().enumerate() {
+        let verify = if i + 1 == beta.len() {
+            VerifyKind::Guaranteed
+        } else {
+            VerifyKind::Partial
+        };
+        out.push(CompiledChunk {
+            work: b * segment_work,
+            verify: Some(verify),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn verified_checkpoint_compiles_to_single_chunk() {
+        let c = Pattern::VerifiedCheckpoint { work: 100.0 }.compile();
+        assert_eq!(c.chunks.len(), 1);
+        assert_eq!(c.chunks[0].verify, Some(VerifyKind::Guaranteed));
+        assert!(c.verified);
+        assert_eq!(c.total_work, 100.0);
+    }
+
+    #[test]
+    fn checkpoint_pattern_is_unverified() {
+        let c = Pattern::Checkpoint { work: 50.0 }.compile();
+        assert!(!c.verified);
+        assert_eq!(c.chunks[0].verify, None);
+    }
+
+    #[test]
+    fn combined_compiles_segments_times_chunks() {
+        let p = Pattern::Combined {
+            work: 120.0,
+            segments: 3,
+            chunks: vec![0.5, 0.3, 0.2],
+        };
+        let c = p.compile();
+        assert_eq!(c.chunks.len(), 9);
+        assert_eq!(p.guaranteed_verifs(), 3);
+        assert_eq!(p.partial_verifs(), 6);
+        let total: f64 = c.chunks.iter().map(|ch| ch.work).sum();
+        assert!((total - 120.0).abs() < 1e-9);
+        // Every third chunk closes a sub-segment with a guaranteed verif.
+        for (i, ch) in c.chunks.iter().enumerate() {
+            let expect = if i % 3 == 2 {
+                VerifyKind::Guaranteed
+            } else {
+                VerifyKind::Partial
+            };
+            assert_eq!(ch.verify, Some(expect), "chunk {i}");
+        }
+    }
+
+    #[test]
+    fn with_work_rescales_only_work() {
+        let p = Pattern::GuaranteedSegments {
+            work: 10.0,
+            segments: 4,
+        };
+        let q = p.with_work(40.0);
+        assert_eq!(q.work(), 40.0);
+        assert_eq!(q.guaranteed_verifs(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to 1")]
+    fn bad_chunk_fractions_rejected() {
+        Pattern::PartialChunks {
+            work: 10.0,
+            chunks: vec![0.5, 0.4],
+        }
+        .compile();
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_work_rejected() {
+        Pattern::VerifiedCheckpoint { work: 0.0 }.compile();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one chunk")]
+    fn empty_chunks_rejected_by_validate() {
+        Pattern::PartialChunks {
+            work: 10.0,
+            chunks: vec![],
+        }
+        .validate();
+    }
+
+    #[test]
+    fn partial_verifs_saturates_on_empty_chunks() {
+        // Invalid shape, but the counter must not wrap; validate() is the
+        // loud rejection path.
+        let p = Pattern::PartialChunks {
+            work: 10.0,
+            chunks: vec![],
+        };
+        assert_eq!(p.partial_verifs(), 0);
+    }
+}

@@ -1,0 +1,163 @@
+//! Platform and cost-model descriptions.
+//!
+//! A [`Platform`] carries the two error rates of the paper's model: fail-stop
+//! errors (λ_f, e.g. node crashes — detected immediately, lose the execution
+//! state) and silent errors (λ_s, e.g. bit flips — detected only by a
+//! verification mechanism). A [`CostModel`] carries the resilience costs:
+//! checkpoint C, recovery R, guaranteed verification V*, and partial
+//! verifications with cost v and recall r.
+
+use stats::rates::platform_rate;
+
+/// Error-rate description of a platform. Rates are per second, and both
+/// error sources are exponentially distributed (memoryless), as in the paper.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Platform {
+    /// Fail-stop error rate λ_f (1/s).
+    pub lambda_fail: f64,
+    /// Silent error rate λ_s (1/s).
+    pub lambda_silent: f64,
+}
+
+impl Platform {
+    /// Creates a platform from raw rates.
+    ///
+    /// # Panics
+    /// Panics when either rate is negative, non-finite, or both are zero.
+    pub fn new(lambda_fail: f64, lambda_silent: f64) -> Self {
+        assert!(
+            lambda_fail.is_finite() && lambda_fail >= 0.0,
+            "fail-stop rate must be finite and non-negative"
+        );
+        assert!(
+            lambda_silent.is_finite() && lambda_silent >= 0.0,
+            "silent rate must be finite and non-negative"
+        );
+        assert!(
+            lambda_fail + lambda_silent > 0.0,
+            "platform must have some error source"
+        );
+        Self {
+            lambda_fail,
+            lambda_silent,
+        }
+    }
+
+    /// Creates a platform from per-node MTBFs (seconds) and a node count,
+    /// using `λ_platform = nodes / mtbf_node`.
+    pub fn from_nodes(mtbf_fail_node: f64, mtbf_silent_node: f64, nodes: u64) -> Self {
+        Self::new(
+            platform_rate(mtbf_fail_node, nodes),
+            platform_rate(mtbf_silent_node, nodes),
+        )
+    }
+
+    /// Combined error rate λ_f + λ_s.
+    pub fn total_rate(&self) -> f64 {
+        self.lambda_fail + self.lambda_silent
+    }
+
+    /// Platform MTBF in seconds over both error sources.
+    pub fn mtbf(&self) -> f64 {
+        1.0 / self.total_rate()
+    }
+}
+
+/// Resilience costs, in seconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostModel {
+    /// Checkpoint cost C.
+    pub checkpoint: f64,
+    /// Recovery cost R.
+    pub recovery: f64,
+    /// Guaranteed verification cost V* (recall 1 by definition).
+    pub guaranteed_verif: f64,
+    /// Partial verification cost v.
+    pub partial_verif: f64,
+    /// Partial verification recall r ∈ (0, 1]: probability that a partial
+    /// verification detects an existing silent corruption.
+    pub recall: f64,
+}
+
+impl CostModel {
+    /// Creates a cost model.
+    ///
+    /// # Panics
+    /// Panics on non-positive checkpoint/verification costs, negative
+    /// recovery, or recall outside `(0, 1]`.
+    pub fn new(
+        checkpoint: f64,
+        recovery: f64,
+        guaranteed_verif: f64,
+        partial_verif: f64,
+        recall: f64,
+    ) -> Self {
+        assert!(checkpoint > 0.0, "checkpoint cost must be positive");
+        assert!(recovery >= 0.0, "recovery cost must be non-negative");
+        assert!(
+            guaranteed_verif > 0.0,
+            "guaranteed verification cost must be positive"
+        );
+        assert!(
+            partial_verif > 0.0,
+            "partial verification cost must be positive"
+        );
+        assert!(recall > 0.0 && recall <= 1.0, "recall must lie in (0, 1]");
+        Self {
+            checkpoint,
+            recovery,
+            guaranteed_verif,
+            partial_verif,
+            recall,
+        }
+    }
+
+    /// The paper's accuracy-to-cost advantage of partial verifications:
+    /// partial verifications can beat guaranteed ones only when
+    /// `V* > v (2 − r) / r`, i.e. when this quantity is positive.
+    pub fn partial_verif_gain(&self) -> f64 {
+        self.guaranteed_verif - self.partial_verif * (2.0 - self.recall) / self.recall
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stats::rates::YEAR;
+
+    #[test]
+    fn from_nodes_matches_rates() {
+        let p = Platform::from_nodes(10.0 * YEAR, 2.5 * YEAR, 100_000);
+        assert!((p.lambda_fail - 100_000.0 / (10.0 * YEAR)).abs() < 1e-18);
+        assert!((p.lambda_silent - 100_000.0 / (2.5 * YEAR)).abs() < 1e-18);
+        assert!(p.mtbf() > 0.0);
+    }
+
+    #[test]
+    fn total_rate_adds_sources() {
+        let p = Platform::new(1e-6, 3e-6);
+        assert!((p.total_rate() - 4e-6).abs() < 1e-18);
+        assert!((p.mtbf() - 2.5e5).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "some error source")]
+    fn all_zero_rates_rejected() {
+        Platform::new(0.0, 0.0);
+    }
+
+    #[test]
+    fn partial_verif_gain_sign() {
+        // r = 0.8 → (2−r)/r = 1.5: gain positive iff V* > 1.5 v.
+        let good = CostModel::new(300.0, 300.0, 100.0, 20.0, 0.8);
+        assert!(good.partial_verif_gain() > 0.0);
+        let bad = CostModel::new(300.0, 300.0, 25.0, 20.0, 0.8);
+        assert!(bad.partial_verif_gain() < 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "recall")]
+    fn zero_recall_rejected() {
+        CostModel::new(300.0, 300.0, 100.0, 20.0, 0.0);
+    }
+}

@@ -1,0 +1,105 @@
+//! Named reference scenarios shared by the validation tests and the CLI.
+//!
+//! The rates are paper-inspired (Hera's measured Table-2 rates; an
+//! Atlas-like machine with accurate partial verifications; a petascale
+//! platform derived from per-node MTBFs). All three keep `λ·W*` small
+//! enough that the first-order analytic model stays within Monte-Carlo
+//! confidence intervals at moderate replication counts.
+
+use crate::platform::{CostModel, Platform};
+use stats::rates::YEAR;
+
+/// A named (platform, cost-model) pair.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Scenario {
+    /// Short identifier, e.g. `"hera"`.
+    pub name: &'static str,
+    /// Error rates.
+    pub platform: Platform,
+    /// Resilience costs.
+    pub costs: CostModel,
+}
+
+/// The three reference scenarios used across tests and the CLI sweep.
+pub fn reference_scenarios() -> Vec<Scenario> {
+    vec![
+        Scenario {
+            name: "hera",
+            platform: Platform::new(9.46e-7, 3.38e-6),
+            costs: CostModel::new(300.0, 300.0, 100.0, 20.0, 0.8),
+        },
+        Scenario {
+            name: "atlas",
+            platform: Platform::new(2.0e-7, 8.0e-7),
+            costs: CostModel::new(600.0, 600.0, 150.0, 30.0, 0.95),
+        },
+        Scenario {
+            name: "petascale",
+            platform: Platform::from_nodes(100.0 * YEAR, 40.0 * YEAR, 10_000),
+            costs: CostModel::new(60.0, 60.0, 30.0, 3.0, 0.5),
+        },
+    ]
+}
+
+/// Gentler variants used for Monte-Carlo validation against the first-order
+/// analytic model: rates scaled so `λ·W*` stays small and the model's
+/// truncation bias (O(λ²W²)) is far inside Monte-Carlo confidence intervals
+/// at moderate replication counts. The closed-form/numeric-optimizer
+/// consistency suite runs over these as well as [`reference_scenarios`].
+pub fn validation_scenarios() -> Vec<Scenario> {
+    vec![
+        Scenario {
+            name: "hera-lite",
+            platform: Platform::new(2.4e-7, 8.5e-7),
+            costs: CostModel::new(300.0, 300.0, 100.0, 20.0, 0.8),
+        },
+        Scenario {
+            name: "atlas",
+            platform: Platform::new(2.0e-7, 8.0e-7),
+            costs: CostModel::new(600.0, 600.0, 150.0, 30.0, 0.95),
+        },
+        Scenario {
+            name: "terascale",
+            platform: Platform::from_nodes(100.0 * YEAR, 40.0 * YEAR, 2_000),
+            costs: CostModel::new(60.0, 60.0, 30.0, 3.0, 0.5),
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenarios_are_distinct_and_named() {
+        let s = reference_scenarios();
+        assert_eq!(s.len(), 3);
+        for w in s.windows(2) {
+            assert_ne!(w[0].name, w[1].name);
+            assert_ne!(w[0].platform, w[1].platform);
+        }
+    }
+
+    #[test]
+    fn all_scenarios_have_silent_errors_and_usable_partials() {
+        for s in reference_scenarios()
+            .into_iter()
+            .chain(validation_scenarios())
+        {
+            assert!(s.platform.lambda_silent > 0.0, "{}", s.name);
+            assert!(s.costs.recall > 0.0, "{}", s.name);
+        }
+    }
+
+    #[test]
+    fn validation_scenarios_sit_in_the_first_order_regime() {
+        // λ · W* ≪ 1 at the Theorem-1 optimum: the truncated O(λ²W²) terms
+        // are then second-order small.
+        for s in validation_scenarios() {
+            let o_ef = s.costs.guaranteed_verif + s.costs.checkpoint;
+            let o_rw = s.platform.lambda_fail / 2.0 + s.platform.lambda_silent;
+            let w_star = (o_ef / o_rw).sqrt();
+            assert!(s.platform.total_rate() * w_star < 0.05, "{}", s.name);
+        }
+    }
+}

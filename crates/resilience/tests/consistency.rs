@@ -1,0 +1,179 @@
+//! Cross-checks every closed-form optimum of Theorems 1–4 against the
+//! unified numeric optimizers of the `numerics` crate, over several platform
+//! scenarios (acceptance criterion: ≤ 1e-6 relative disagreement).
+
+use numerics::minimize::{
+    Bracket, ConvexRounding, ExhaustiveScan, GoldenSection, IntegerMinimizer1d, Minimizer1d,
+    RefinedGrid,
+};
+use numerics::simplex::SimplexConfig;
+use numerics::{approx_eq, matrix::recall_matrix};
+use resilience::{
+    eq18_chunks, eq18_value, first_order_overhead, reference_scenarios, theorem1, theorem2,
+    theorem3, theorem4, validation_scenarios, CostModel, Pattern, Platform,
+};
+
+const REL_TOL: f64 = 1e-6;
+
+/// Both shared scenario sets: the paper-rate reference trio and the gentler
+/// Monte-Carlo validation trio, six scenarios in all.
+fn scenarios() -> Vec<(&'static str, Platform, CostModel)> {
+    reference_scenarios()
+        .into_iter()
+        .chain(validation_scenarios())
+        .map(|s| (s.name, s.platform, s.costs))
+        .collect()
+}
+
+/// Numeric work optimization for a structurally-fixed pattern, through two
+/// unified 1-D strategies.
+fn numeric_best_work(pattern: &Pattern, platform: &Platform, costs: &CostModel) -> (f64, f64) {
+    let mut h = |w: f64| first_order_overhead(&pattern.with_work(w), platform, costs);
+    let bracket = Bracket::new(10.0, 1e8);
+    let golden = GoldenSection { tol: 1e-4 }.minimize(&mut h, bracket);
+    let refined = RefinedGrid {
+        points: 65,
+        rounds: 20,
+    }
+    .minimize(&mut h, bracket);
+    assert!(
+        approx_eq(golden.value, refined.value, REL_TOL),
+        "golden vs refined grid disagree: {} vs {}",
+        golden.value,
+        refined.value
+    );
+    (golden.x, golden.value)
+}
+
+#[test]
+fn theorem1_agrees_with_numeric_work_optimization() {
+    for (name, p, c) in scenarios() {
+        let opt = theorem1(&p, &c);
+        let (w_num, h_num) = numeric_best_work(&opt.pattern, &p, &c);
+        assert!(
+            approx_eq(opt.overhead, h_num, REL_TOL),
+            "{name}: H {} vs {h_num}",
+            opt.overhead
+        );
+        assert!(
+            approx_eq(opt.work(), w_num, 1e-3),
+            "{name}: W {} vs {w_num}",
+            opt.work()
+        );
+    }
+}
+
+#[test]
+fn theorem2_integer_optimum_matches_exhaustive_scan() {
+    for (name, p, c) in scenarios() {
+        let opt = theorem2(&p, &c);
+        // Overhead at the optimal work for each m: 2√(o_ef·o_rw).
+        let mut h2 = |m: f64| {
+            let o_ef = m * c.guaranteed_verif + c.checkpoint;
+            let o_rw = p.lambda_fail / 2.0 + p.lambda_silent * (m + 1.0) / (2.0 * m);
+            2.0 * (o_ef * o_rw).sqrt()
+        };
+        let exact = ExhaustiveScan.minimize_int(&mut h2, 1, 5_000);
+        let rounded = ConvexRounding {
+            relax: GoldenSection { tol: 1e-9 },
+        }
+        .minimize_int(&mut h2, 1, 5_000);
+        assert_eq!(opt.pattern.guaranteed_verifs(), exact.n, "{name}");
+        assert_eq!(rounded.n, exact.n, "{name}");
+        assert!(approx_eq(opt.overhead, exact.value, REL_TOL), "{name}");
+        // And the reported overhead matches a numeric optimization of the
+        // actual evaluator at that structure.
+        let (_, h_num) = numeric_best_work(&opt.pattern, &p, &c);
+        assert!(approx_eq(opt.overhead, h_num, REL_TOL), "{name}");
+    }
+}
+
+#[test]
+fn theorem3_integer_optimum_matches_exhaustive_scan() {
+    for (name, p, c) in scenarios() {
+        let opt = theorem3(&p, &c);
+        let r = c.recall;
+        let mut h3 = |m: f64| {
+            let o_ef = (m - 1.0) * c.partial_verif + c.guaranteed_verif + c.checkpoint;
+            let f_re = 0.5 * (1.0 + (2.0 - r) / ((m - 2.0) * r + 2.0));
+            let o_rw = p.lambda_fail / 2.0 + p.lambda_silent * f_re;
+            2.0 * (o_ef * o_rw).sqrt()
+        };
+        let exact = ExhaustiveScan.minimize_int(&mut h3, 1, 5_000);
+        assert_eq!(opt.pattern.partial_verifs() + 1, exact.n, "{name}");
+        assert!(approx_eq(opt.overhead, exact.value, REL_TOL), "{name}");
+        let (_, h_num) = numeric_best_work(&opt.pattern, &p, &c);
+        assert!(approx_eq(opt.overhead, h_num, REL_TOL), "{name}");
+    }
+}
+
+#[test]
+fn eq18_chunks_match_projected_gradient_solver() {
+    for (name, _, c) in scenarios() {
+        for m in [2usize, 3, 5, 9] {
+            let a = recall_matrix(m, c.recall);
+            let numeric = SimplexConfig {
+                max_iters: 400_000,
+                tol: 1e-15,
+            }
+            .minimize(&a);
+            let closed = eq18_value(m, c.recall);
+            assert!(
+                approx_eq(numeric.value, closed, 1e-6),
+                "{name} m={m}: solver {} vs closed form {closed}",
+                numeric.value
+            );
+            // The closed-form chunks cannot do better than the solver's
+            // certified minimum, and must attain it.
+            let attained = a.quadratic_form(&eq18_chunks(m, c.recall));
+            assert!(approx_eq(attained, closed, 1e-12), "{name} m={m}");
+        }
+    }
+}
+
+#[test]
+fn theorem4_matches_exhaustive_2d_integer_scan() {
+    for (name, p, c) in scenarios() {
+        let opt = theorem4(&p, &c);
+        let r = c.recall;
+        let h4 = |n: f64, m: f64| {
+            let o_ef = m * (c.guaranteed_verif + n * c.partial_verif) + c.checkpoint;
+            let u = (n - 1.0) * r + 2.0;
+            let f_re = 0.5 + (2.0 - r) / (2.0 * m * u);
+            let o_rw = p.lambda_fail / 2.0 + p.lambda_silent * f_re;
+            2.0 * (o_ef * o_rw).sqrt()
+        };
+        let mut best = f64::INFINITY;
+        let mut arg = (0u64, 0u64);
+        for n in 0..400u64 {
+            for m in 1..400u64 {
+                let h = h4(n as f64, m as f64);
+                if h < best {
+                    best = h;
+                    arg = (n, m);
+                }
+            }
+        }
+        assert!(
+            approx_eq(opt.overhead, best, REL_TOL),
+            "{name}: closed form {} vs exhaustive {best} at {arg:?}",
+            opt.overhead
+        );
+        let (_, h_num) = numeric_best_work(&opt.pattern, &p, &c);
+        assert!(approx_eq(opt.overhead, h_num, REL_TOL), "{name}");
+    }
+}
+
+#[test]
+fn theorem_hierarchy_is_monotone() {
+    // More flexible patterns can only lower the first-order overhead.
+    for (name, p, c) in scenarios() {
+        let h1 = theorem1(&p, &c).overhead;
+        let h2 = theorem2(&p, &c).overhead;
+        let h3 = theorem3(&p, &c).overhead;
+        let h4 = theorem4(&p, &c).overhead;
+        assert!(h2 <= h1 + 1e-12, "{name}");
+        assert!(h4 <= h2 + 1e-12, "{name}");
+        assert!(h4 <= h3 + 1e-12, "{name}");
+    }
+}

@@ -1,0 +1,157 @@
+//! Self-contained pseudo-random numbers: xoshiro256++ seeded through
+//! SplitMix64, plus the exponential sampling the fault injector needs.
+//!
+//! Vendored rather than pulled from the `rand` crate: the engine needs only
+//! uniform and exponential draws, and a fixed in-tree generator keeps
+//! simulations reproducible across toolchains and offline builds.
+
+/// xoshiro256++ generator (Blackman & Vigna), 256-bit state, period 2²⁵⁶−1.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rng {
+    s: [u64; 4],
+}
+
+/// One SplitMix64 step; used for seeding and stream splitting.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl Rng {
+    /// Creates a generator from a 64-bit seed (any value, including 0).
+    pub fn new(seed: u64) -> Self {
+        let mut sm = seed;
+        Self {
+            s: [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ],
+        }
+    }
+
+    /// Next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform draw in `[0, 1)` with 53 bits of precision.
+    pub fn uniform(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Exponential draw with the given `rate` (inverse-CDF method); `+∞`
+    /// when the rate is zero or negative, so "no errors of this kind" falls
+    /// out naturally.
+    pub fn exponential(&mut self, rate: f64) -> f64 {
+        if rate <= 0.0 {
+            return f64::INFINITY;
+        }
+        // 1 − u ∈ (0, 1], so ln is finite.
+        -(1.0 - self.uniform()).ln() / rate
+    }
+
+    /// Derives an independent generator for another thread/stream.
+    pub fn split(&mut self) -> Rng {
+        Rng::new(self.next_u64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stats::{Histogram, OnlineStats};
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let mut a = Rng::new(42);
+        let mut b = Rng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        assert_ne!(Rng::new(42).next_u64(), Rng::new(43).next_u64());
+    }
+
+    #[test]
+    fn uniform_moments_are_sane() {
+        let mut rng = Rng::new(7);
+        let mut s = OnlineStats::new();
+        for _ in 0..200_000 {
+            s.push(rng.uniform());
+        }
+        assert!((s.mean() - 0.5).abs() < 5e-3, "mean {}", s.mean());
+        // Var of U(0,1) is 1/12.
+        assert!(
+            (s.variance() - 1.0 / 12.0).abs() < 1e-3,
+            "var {}",
+            s.variance()
+        );
+        assert!(s.min() >= 0.0 && s.max() < 1.0);
+    }
+
+    #[test]
+    fn exponential_matches_rate() {
+        let rate = 2.5;
+        let mut rng = Rng::new(12345);
+        let mut s = OnlineStats::new();
+        for _ in 0..200_000 {
+            s.push(rng.exponential(rate));
+        }
+        assert!(
+            (s.mean() - 1.0 / rate).abs() < 3.0 * s.std_err() + 1e-3,
+            "mean {}",
+            s.mean()
+        );
+        // Exponential: std dev equals mean.
+        assert!((s.std_dev() - 1.0 / rate).abs() < 5e-3);
+    }
+
+    #[test]
+    fn exponential_interarrivals_look_exponential() {
+        // Histogram of Exp(1): successive bin masses decay by e^{-w}.
+        let mut rng = Rng::new(99);
+        let mut h = Histogram::new(0.0, 5.0, 10);
+        for _ in 0..400_000 {
+            h.record(rng.exponential(1.0));
+        }
+        let decay = (-0.5f64).exp();
+        for i in 0..5 {
+            let ratio = h.fraction(i + 1) / h.fraction(i);
+            assert!(
+                (ratio - decay).abs() < 0.02,
+                "bin {i}: ratio {ratio} vs {decay}"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_rate_never_fires() {
+        let mut rng = Rng::new(1);
+        assert!(rng.exponential(0.0).is_infinite());
+        assert!(rng.exponential(-1.0).is_infinite());
+    }
+
+    #[test]
+    fn split_streams_diverge() {
+        let mut parent = Rng::new(5);
+        let mut a = parent.split();
+        let mut b = parent.split();
+        let collisions = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(collisions, 0);
+    }
+}

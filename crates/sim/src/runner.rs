@@ -1,0 +1,243 @@
+//! Parallel replication runner: fans pattern executions out over threads,
+//! merges the per-thread [`OnlineStats`] accumulators (no synchronization on
+//! the hot path) and emits [`Summary`] confidence intervals — the runner the
+//! `stats` crate's accumulators were designed for.
+
+use crate::engine::execute_pattern;
+use crate::rng::Rng;
+use resilience::pattern::Pattern;
+use resilience::platform::{CostModel, Platform};
+use stats::rates::{per_day, per_hour};
+use stats::{OnlineStats, Summary};
+
+/// Replication-run configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunConfig {
+    /// Number of independent pattern executions.
+    pub replications: u64,
+    /// Worker threads; clamped to at least 1.
+    pub threads: usize,
+    /// Base seed; thread streams are split deterministically from it, so a
+    /// fixed `(seed, threads, replications)` triple reproduces exactly.
+    pub seed: u64,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        Self {
+            replications: 10_000,
+            threads: 4,
+            seed: 0x5eed_cafe,
+        }
+    }
+}
+
+/// Merged outcome of a replication run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimReport {
+    /// Per-pattern overhead `(time − work)/work` distribution.
+    pub overhead: Summary,
+    /// Per-pattern completion-time distribution, seconds.
+    pub time: Summary,
+    /// Total fail-stop errors across all replications.
+    pub fail_stop_events: u64,
+    /// Total silent corruption events across all replications.
+    pub silent_errors: u64,
+    /// Total rollbacks caused by verification detections.
+    pub silent_detections: u64,
+    /// Total simulated seconds (sum of pattern completion times).
+    pub total_time: f64,
+    /// Replications actually executed.
+    pub replications: u64,
+}
+
+impl SimReport {
+    /// Committed checkpoints per simulated hour (one per pattern).
+    pub fn checkpoints_per_hour(&self) -> f64 {
+        per_hour(self.replications as f64, self.total_time)
+    }
+
+    /// Recoveries per simulated day (fail-stop and detected silent errors
+    /// both pay one recovery).
+    pub fn recoveries_per_day(&self) -> f64 {
+        per_day(
+            (self.fail_stop_events + self.silent_detections) as f64,
+            self.total_time,
+        )
+    }
+}
+
+/// Per-thread accumulator, merged after the join.
+#[derive(Debug, Default, Clone, Copy)]
+struct ThreadAcc {
+    overhead: OnlineStats,
+    time: OnlineStats,
+    fail_stop: u64,
+    silent: u64,
+    detections: u64,
+    total_time: f64,
+}
+
+/// Runs `cfg.replications` independent executions of `pattern` and merges
+/// the per-thread statistics.
+pub fn run_replications(
+    pattern: &Pattern,
+    platform: &Platform,
+    costs: &CostModel,
+    cfg: &RunConfig,
+) -> SimReport {
+    let compiled = pattern.compile();
+    let work = compiled.total_work;
+    let threads = cfg.threads.max(1).min(cfg.replications.max(1) as usize);
+    let mut root = Rng::new(cfg.seed);
+    let streams: Vec<Rng> = (0..threads).map(|_| root.split()).collect();
+
+    let accs: Vec<ThreadAcc> = std::thread::scope(|scope| {
+        let compiled = &compiled;
+        let handles: Vec<_> = streams
+            .into_iter()
+            .enumerate()
+            .map(|(i, mut rng)| {
+                scope.spawn(move || {
+                    // Split replications as evenly as possible.
+                    let base = cfg.replications / threads as u64;
+                    let extra = u64::from((i as u64) < cfg.replications % threads as u64);
+                    let mut acc = ThreadAcc::default();
+                    for _ in 0..base + extra {
+                        let e = execute_pattern(compiled, platform, costs, &mut rng);
+                        acc.overhead.push((e.time - work) / work);
+                        acc.time.push(e.time);
+                        acc.fail_stop += e.fail_stop_events;
+                        acc.silent += e.silent_errors;
+                        acc.detections += e.silent_detections;
+                        acc.total_time += e.time;
+                    }
+                    acc
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("replication thread panicked"))
+            .collect()
+    });
+
+    let mut merged = ThreadAcc::default();
+    for acc in &accs {
+        merged.overhead.merge(&acc.overhead);
+        merged.time.merge(&acc.time);
+        merged.fail_stop += acc.fail_stop;
+        merged.silent += acc.silent;
+        merged.detections += acc.detections;
+        merged.total_time += acc.total_time;
+    }
+    SimReport {
+        overhead: Summary::from_stats(&merged.overhead),
+        time: Summary::from_stats(&merged.time),
+        fail_stop_events: merged.fail_stop,
+        silent_errors: merged.silent,
+        silent_detections: merged.detections,
+        total_time: merged.total_time,
+        replications: cfg.replications,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (Platform, CostModel, Pattern) {
+        let p = Platform::new(9.46e-7, 3.38e-6);
+        let c = CostModel::new(300.0, 300.0, 100.0, 20.0, 0.8);
+        let pat = Pattern::GuaranteedSegments {
+            work: 20_000.0,
+            segments: 3,
+        };
+        (p, c, pat)
+    }
+
+    #[test]
+    fn deterministic_across_runs_with_same_config() {
+        let (p, c, pat) = setup();
+        let cfg = RunConfig {
+            replications: 500,
+            threads: 3,
+            seed: 11,
+        };
+        let a = run_replications(&pat, &p, &c, &cfg);
+        let b = run_replications(&pat, &p, &c, &cfg);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn thread_count_does_not_change_totals_only_pairing() {
+        // Different thread counts repartition the same workload; counts stay
+        // plausible and the mean stays within joint confidence intervals.
+        let (p, c, pat) = setup();
+        let one = run_replications(
+            &pat,
+            &p,
+            &c,
+            &RunConfig {
+                replications: 4000,
+                threads: 1,
+                seed: 7,
+            },
+        );
+        let four = run_replications(
+            &pat,
+            &p,
+            &c,
+            &RunConfig {
+                replications: 4000,
+                threads: 4,
+                seed: 7,
+            },
+        );
+        assert_eq!(one.replications, four.replications);
+        assert_eq!(one.overhead.count, 4000);
+        assert_eq!(four.overhead.count, 4000);
+        let gap = (one.overhead.mean - four.overhead.mean).abs();
+        assert!(gap <= one.overhead.ci95 + four.overhead.ci95, "gap {gap}");
+    }
+
+    #[test]
+    fn report_rates_use_total_sim_time() {
+        let (p, c, pat) = setup();
+        let r = run_replications(
+            &pat,
+            &p,
+            &c,
+            &RunConfig {
+                replications: 200,
+                threads: 2,
+                seed: 3,
+            },
+        );
+        assert!(r.total_time > 0.0);
+        assert!(r.checkpoints_per_hour() > 0.0);
+        // λ_s W ≈ 0.068 per pattern: some silent errors must appear in 200.
+        assert!(r.silent_errors > 0);
+        // A fail-stop error can wipe a corruption before any verification
+        // sees it, so detections can only fall short of injections.
+        assert!(r.silent_detections <= r.silent_errors);
+        assert!(r.recoveries_per_day() > 0.0);
+    }
+
+    #[test]
+    fn single_replication_and_more_threads_than_work() {
+        let (p, c, pat) = setup();
+        let r = run_replications(
+            &pat,
+            &p,
+            &c,
+            &RunConfig {
+                replications: 1,
+                threads: 8,
+                seed: 1,
+            },
+        );
+        assert_eq!(r.overhead.count, 1);
+        assert_eq!(r.time.count, 1);
+    }
+}

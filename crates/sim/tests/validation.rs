@@ -1,0 +1,98 @@
+//! Validates the Monte-Carlo engine against the first-order analytic model:
+//! for each platform scenario and each theorem's optimal pattern, the
+//! simulated mean overhead must fall within its own 95% confidence interval
+//! of the analytic prediction (acceptance criterion).
+//!
+//! The analytic model drops O(λ²W²) terms (failures during verifications,
+//! checkpoints and recoveries, multiple errors per pattern), so scenarios
+//! here keep λ·W small enough that the truncation bias stays well inside the
+//! Monte-Carlo confidence interval at the chosen replication counts.
+
+use resilience::{
+    theorem1, theorem2, theorem3, theorem4, validation_scenarios, CostModel, PatternOptimum,
+    Platform,
+};
+use sim::{run_replications, RunConfig};
+
+fn scenarios() -> Vec<(&'static str, Platform, CostModel)> {
+    validation_scenarios()
+        .into_iter()
+        .map(|s| (s.name, s.platform, s.costs))
+        .collect()
+}
+
+fn check(name: &str, theorem: &str, opt: &PatternOptimum, p: &Platform, c: &CostModel) {
+    // The validation scenarios keep the first-order truncation bias below
+    // ~0.2% absolute overhead; 4000 replications put the CI half-width
+    // around 3× that, so containment does not hinge on seed luck.
+    let cfg = RunConfig {
+        replications: 4_000,
+        threads: 4,
+        seed: 0xb10c_ba5e,
+    };
+    let report = run_replications(&opt.pattern, p, c, &cfg);
+    let mean = report.overhead.mean;
+    let ci = report.overhead.ci95;
+    assert!(
+        report.overhead.ci_contains(opt.overhead),
+        "{name}/{theorem}: analytic {:.6} outside simulated {:.6} ± {:.6}",
+        opt.overhead,
+        mean,
+        ci
+    );
+    // The interval must also be informative, not vacuously wide.
+    assert!(
+        ci < 0.5 * mean,
+        "{name}/{theorem}: CI half-width {ci} vs mean {mean}"
+    );
+}
+
+#[test]
+fn theorem1_simulation_matches_analytic() {
+    for (name, p, c) in scenarios() {
+        check(name, "theorem1", &theorem1(&p, &c), &p, &c);
+    }
+}
+
+#[test]
+fn theorem2_simulation_matches_analytic() {
+    for (name, p, c) in scenarios() {
+        check(name, "theorem2", &theorem2(&p, &c), &p, &c);
+    }
+}
+
+#[test]
+fn theorem3_simulation_matches_analytic() {
+    for (name, p, c) in scenarios() {
+        check(name, "theorem3", &theorem3(&p, &c), &p, &c);
+    }
+}
+
+#[test]
+fn theorem4_simulation_matches_analytic() {
+    for (name, p, c) in scenarios() {
+        check(name, "theorem4", &theorem4(&p, &c), &p, &c);
+    }
+}
+
+#[test]
+fn simulated_overhead_orders_patterns_like_the_theory() {
+    // Theorem 4's optimum should simulate no worse than Theorem 1's, well
+    // beyond CI noise, on a scenario with a clear hierarchy.
+    let (_, p, c) = scenarios().remove(0);
+    let cfg = RunConfig {
+        replications: 8_000,
+        threads: 4,
+        seed: 0xfeed,
+    };
+    let t1 = run_replications(&theorem1(&p, &c).pattern, &p, &c, &cfg);
+    let t4 = run_replications(&theorem4(&p, &c).pattern, &p, &c, &cfg);
+    assert!(
+        t4.overhead.mean - t4.overhead.ci95 < t1.overhead.mean + t1.overhead.ci95,
+        "t4 {} ± {} vs t1 {} ± {}",
+        t4.overhead.mean,
+        t4.overhead.ci95,
+        t1.overhead.mean,
+        t1.overhead.ci95
+    );
+}

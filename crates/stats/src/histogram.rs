@@ -27,7 +27,14 @@ impl Histogram {
     pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
         assert!(lo < hi, "histogram range must be non-empty");
         assert!(bins > 0, "histogram needs at least one bin");
-        Self { lo, hi, counts: vec![0; bins], underflow: 0, overflow: 0, total: 0 }
+        Self {
+            lo,
+            hi,
+            counts: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+            total: 0,
+        }
     }
 
     /// Records one observation.

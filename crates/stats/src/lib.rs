@@ -15,5 +15,5 @@ pub mod summary;
 
 pub use histogram::Histogram;
 pub use online::OnlineStats;
-pub use rates::{per_day, per_hour, HOUR, DAY, YEAR};
+pub use rates::{per_day, per_hour, DAY, HOUR, YEAR};
 pub use summary::Summary;

@@ -27,7 +27,13 @@ impl Default for OnlineStats {
 impl OnlineStats {
     /// Empty accumulator.
     pub fn new() -> Self {
-        Self { count: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+        Self {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
     }
 
     /// Adds one observation.
@@ -119,7 +125,10 @@ mod tests {
     use super::*;
 
     fn assert_close(a: f64, b: f64) {
-        assert!((a - b).abs() < 1e-9 * a.abs().max(b.abs()).max(1.0), "{a} vs {b}");
+        assert!(
+            (a - b).abs() < 1e-9 * a.abs().max(b.abs()).max(1.0),
+            "{a} vs {b}"
+        );
     }
 
     #[test]
@@ -167,6 +176,55 @@ mod tests {
         assert_close(merged.variance(), all.variance());
         assert_eq!(merged.min(), all.min());
         assert_eq!(merged.max(), all.max());
+    }
+
+    #[test]
+    fn merge_of_arbitrary_splits_equals_sequential() {
+        // Property-style: for a spread of sample shapes and pseudo-random
+        // split assignments over k parts, merging the parts in order always
+        // reproduces the sequential accumulation.
+        let samples: Vec<Vec<f64>> = vec![
+            (0..257).map(|i| (i as f64).sin() * 1e3).collect(),
+            (0..64).map(|i| 1e-9 * i as f64 + 7.0).collect(),
+            vec![42.0],
+            (0..500)
+                .map(|i| ((i * 2654435761u64 % 1000) as f64 - 500.0).powi(3))
+                .collect(),
+        ];
+        let mut lcg: u64 = 0x1234_5678;
+        for data in &samples {
+            for k in [2usize, 3, 7] {
+                let mut all = OnlineStats::new();
+                let mut parts = vec![OnlineStats::new(); k];
+                for &x in data {
+                    all.push(x);
+                    lcg = lcg
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
+                    parts[(lcg >> 33) as usize % k].push(x);
+                }
+                let mut merged = OnlineStats::new();
+                for p in &parts {
+                    merged.merge(p);
+                }
+                assert_eq!(merged.count(), all.count());
+                assert_close(merged.mean(), all.mean());
+                assert_close(merged.variance(), all.variance());
+                assert_eq!(merged.min(), all.min());
+                assert_eq!(merged.max(), all.max());
+            }
+        }
+    }
+
+    #[test]
+    fn merge_empty_with_empty_stays_empty() {
+        let mut a = OnlineStats::new();
+        a.merge(&OnlineStats::new());
+        assert_eq!(a, OnlineStats::new());
+        assert_eq!(a.count(), 0);
+        assert_eq!(a.mean(), 0.0);
+        assert_eq!(a.variance(), 0.0);
+        assert!(a.min().is_infinite() && a.max().is_infinite());
     }
 
     #[test]

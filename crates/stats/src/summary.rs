@@ -57,7 +57,11 @@ impl Summary {
 
 impl fmt::Display for Summary {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{:.6} ± {:.6} (n={}, range [{:.4}, {:.4}])", self.mean, self.ci95, self.count, self.min, self.max)
+        write!(
+            f,
+            "{:.6} ± {:.6} (n={}, range [{:.4}, {:.4}])",
+            self.mean, self.ci95, self.count, self.min, self.max
+        )
     }
 }
 
@@ -85,7 +89,7 @@ mod tests {
         s.push(2.0);
         s.push(2.0);
         let sum = Summary::from_stats(&s);
-        assert_eq!(sum.rel_deviation(2.2), 0.1f64);
+        assert!((sum.rel_deviation(2.2) - 0.1).abs() < 1e-12);
         assert_eq!(sum.rel_deviation(2.0), 0.0);
     }
 

@@ -1,0 +1,18 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The build environment cannot reach a crates registry, so this shim
+//! provides just the names the workspace imports: the `Serialize` and
+//! `Deserialize` marker traits and (behind the `derive` feature, mirroring
+//! real serde) the corresponding derives. Types deriving them compile and
+//! carry the impls, but no wire format exists until the workspace
+//! `Cargo.toml` is repointed at real serde.
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize` (lifetime parameter dropped —
+/// nothing in the workspace bounds on it).
+pub trait Deserialize {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

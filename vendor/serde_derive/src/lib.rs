@@ -1,0 +1,52 @@
+//! Offline stand-in for the `serde_derive` proc-macro crate.
+//!
+//! The build environment has no registry access, so the workspace vendors the
+//! minimal surface the code actually uses: `#[derive(Serialize)]` and
+//! `#[derive(Deserialize)]` that emit marker-trait impls for the shim traits
+//! in the sibling `vendor/serde` crate. No serialization code is generated —
+//! nothing in the workspace serializes yet; the derives exist so type
+//! definitions keep the same shape they will have once real serde is wired
+//! back in.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extracts the type name following the `struct` or `enum` keyword.
+///
+/// The derive input is a bare item (outer `#[derive(..)]` already stripped),
+/// so a linear scan for the keyword is enough; generics are not supported by
+/// the shim and produce a compile error in the generated impl, which is the
+/// desired loud failure.
+fn item_name(input: &TokenStream) -> Option<String> {
+    let mut saw_keyword = false;
+    for tt in input.clone() {
+        if let TokenTree::Ident(ident) = tt {
+            let s = ident.to_string();
+            if saw_keyword {
+                return Some(s);
+            }
+            if s == "struct" || s == "enum" {
+                saw_keyword = true;
+            }
+        }
+    }
+    None
+}
+
+fn marker_impl(input: TokenStream, trait_path: &str) -> TokenStream {
+    let name = item_name(&input).expect("serde shim derive: could not find type name");
+    format!("impl {trait_path} for {name} {{}}")
+        .parse()
+        .expect("serde shim derive: bad impl")
+}
+
+/// No-op `Serialize` derive: emits only `impl serde::Serialize for T {}`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    marker_impl(input, "::serde::Serialize")
+}
+
+/// No-op `Deserialize` derive: emits only `impl serde::Deserialize for T {}`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    marker_impl(input, "::serde::Deserialize")
+}
