@@ -1,50 +1,77 @@
-//! Scenario sweeps: analytic vs simulated overhead tables.
+//! Scenario sweeps: analytic vs simulated overhead tables, dispatched over
+//! the sharded sweep executor.
 //!
 //! ```text
-//! resilience-cli [sweep|nodes|mtbf|recall] [--reps N] [--threads N] [--seed S]
+//! resilience-cli [sweep|nodes|mtbf|recall|grid]
+//!                [--reps N] [--threads N] [--seed S] [--grid-size K]
 //! ```
 //!
 //! * `sweep`  — the three reference scenarios × Theorems 1–4 (default);
 //! * `nodes`  — node-count sweep at fixed per-node MTBFs (Theorem 4);
 //! * `mtbf`   — per-node MTBF sweep at fixed node count (Theorem 4);
-//! * `recall` — partial-verification accuracy sweep (Theorem 4).
+//! * `recall` — partial-verification accuracy sweep (Theorem 4);
+//! * `grid`   — node-count × MTBF × recall cross-product (`K³` cells,
+//!   default `K = 10` → 1,000 cells), analytic-only unless `--reps` is
+//!   given.
 //!
-//! Overheads are percentages; checkpoint and recovery frequencies use the
-//! paper's per-hour / per-day units.
+//! Every command expands a `SweepSpec` and shards its cells over
+//! `--threads` workers; results stream back in deterministic cell order, so
+//! output at a fixed seed is byte-identical to the serial loop. Optimizer
+//! queries go through the shared memoized cache, whose hit/miss totals are
+//! reported on stderr. Overheads are percentages; checkpoint and recovery
+//! frequencies use the paper's per-hour / per-day units.
 
-use resilience::{
-    reference_scenarios, theorem1, theorem2, theorem3, theorem4, CostModel, PatternOptimum,
-    Platform, Scenario,
-};
-use sim::{run_replications, RunConfig};
+use resilience::{grid_spec, reference_scenarios, CostModel, Platform, SweepSpec, Theorem};
+use sim::executor::{CellResult, SimSettings, SweepExecutor};
+use sim::runner::thread_cap;
 use stats::rates::YEAR;
+use stats::table::{Align, TableFormat};
+
+const DEFAULT_REPS: u64 = 4_000;
+const GRID_AXIS_MAX: usize = 10;
 
 struct Args {
     command: String,
-    reps: u64,
+    /// `None` = not given on the command line (commands pick their default).
+    reps: Option<u64>,
     threads: usize,
     seed: u64,
+    grid_size: usize,
 }
 
 fn parse_args() -> Args {
     let mut args = Args {
         command: "sweep".to_string(),
-        reps: 4_000,
+        reps: None,
         threads: 4,
         seed: 0xc0de,
+        grid_size: GRID_AXIS_MAX,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < argv.len() {
         match argv[i].as_str() {
-            "sweep" | "nodes" | "mtbf" | "recall" => args.command = argv[i].clone(),
-            "--reps" => args.reps = parse_num(&take_value(&argv, &mut i)),
+            "sweep" | "nodes" | "mtbf" | "recall" | "grid" => args.command = argv[i].clone(),
+            "--reps" => args.reps = Some(parse_num(&take_value(&argv, &mut i))),
             "--threads" => args.threads = parse_num(&take_value(&argv, &mut i)) as usize,
             "--seed" => args.seed = parse_num(&take_value(&argv, &mut i)),
+            "--grid-size" => args.grid_size = parse_num(&take_value(&argv, &mut i)) as usize,
             "--help" | "-h" => {
                 println!(
-                    "usage: resilience-cli [sweep|nodes|mtbf|recall] \
-                     [--reps N] [--threads N] [--seed S]"
+                    "usage: resilience-cli [sweep|nodes|mtbf|recall|grid]\n\
+                     \x20                     [--reps N] [--threads N] [--seed S] [--grid-size K]\n\
+                     \n\
+                     \x20 sweep    reference scenarios x theorems 1-4 (default)\n\
+                     \x20 nodes    node-count sweep, theorem 4\n\
+                     \x20 mtbf     per-node MTBF sweep, theorem 4\n\
+                     \x20 recall   partial-verification recall sweep, theorem 4\n\
+                     \x20 grid     node-count x MTBF x recall cross-product (K^3 cells),\n\
+                     \x20          analytic-only unless --reps is given\n\
+                     \n\
+                     \x20 --reps N       Monte-Carlo replications per cell (>= 1; default {DEFAULT_REPS})\n\
+                     \x20 --threads N    sweep worker threads (clamped to 4x machine parallelism)\n\
+                     \x20 --seed S       base seed; per-cell streams derive from it\n\
+                     \x20 --grid-size K  grid axis length, 1..={GRID_AXIS_MAX} (default {GRID_AXIS_MAX})"
                 );
                 std::process::exit(0);
             }
@@ -52,7 +79,29 @@ fn parse_args() -> Args {
         }
         i += 1;
     }
+    validate(&mut args);
     args
+}
+
+fn validate(args: &mut Args) {
+    if args.reps == Some(0) {
+        die("--reps must be at least 1 (zero replications would make every simulated statistic undefined)");
+    }
+    if args.threads == 0 {
+        die("--threads must be at least 1");
+    }
+    let cap = thread_cap();
+    if args.threads > cap {
+        eprintln!(
+            "resilience-cli: warning: --threads {} exceeds 4x the machine's \
+             parallelism; clamping to {cap}",
+            args.threads
+        );
+        args.threads = cap;
+    }
+    if args.grid_size == 0 || args.grid_size > GRID_AXIS_MAX {
+        die(&format!("--grid-size must lie in 1..={GRID_AXIS_MAX}"));
+    }
 }
 
 fn take_value(argv: &[String], i: &mut usize) -> String {
@@ -84,108 +133,135 @@ fn out(line: &str) {
     }
 }
 
-fn header() {
-    // The sim column must match row()'s "{:>10.3} ± {:>5.3}" = 18 chars.
-    out(&format!(
-        "{:<12} {:<9} {:>3} {:>3} {:>9} {:>9} {:>18} {:>8} {:>8}",
-        "scenario", "pattern", "m", "n", "W*(s)", "H*(%)", "sim(%) ± ci", "ckpt/h", "rec/d"
-    ));
-    out(&"-".repeat(87));
+/// Single-axis Theorem-4 sweeps, as specs.
+fn nodes_spec() -> SweepSpec {
+    let mut spec = SweepSpec::new().theorem(Theorem::Four);
+    for nodes in [1_000u64, 5_000, 10_000, 50_000] {
+        spec = spec.point(
+            format!("{nodes}n"),
+            Platform::from_nodes(100.0 * YEAR, 40.0 * YEAR, nodes),
+            CostModel::new(60.0, 60.0, 30.0, 3.0, 0.5),
+        );
+    }
+    spec
 }
 
-fn row(
-    name: &str,
-    label: &str,
-    opt: &PatternOptimum,
-    p: &Platform,
-    c: &CostModel,
-    cfg: &RunConfig,
+fn mtbf_spec() -> SweepSpec {
+    let mut spec = SweepSpec::new().theorem(Theorem::Four);
+    for years in [25.0f64, 50.0, 100.0, 200.0] {
+        spec = spec.point(
+            format!("{years:.0}y"),
+            Platform::from_nodes(years * YEAR, 0.4 * years * YEAR, 10_000),
+            CostModel::new(60.0, 60.0, 30.0, 3.0, 0.5),
+        );
+    }
+    spec
+}
+
+fn recall_spec() -> SweepSpec {
+    let mut spec = SweepSpec::new().theorem(Theorem::Four);
+    for recall in [0.2f64, 0.5, 0.8, 0.95] {
+        spec = spec.point(
+            format!("r={recall}"),
+            Platform::new(9.46e-7, 3.38e-6),
+            CostModel::new(300.0, 300.0, 100.0, 20.0, recall),
+        );
+    }
+    spec
+}
+
+/// Renders one result row. `n` is the per-segment partial-verification
+/// count derived from the pattern shape; `pv` is the true total per
+/// pattern (they differ from naive `pv/m` bookkeeping exactly when the
+/// pattern has no segments to divide by).
+fn render_cells(r: &CellResult) -> Vec<String> {
+    let pat = &r.optimum.pattern;
+    let mut cells = vec![
+        r.name.clone(),
+        r.theorem.label().to_string(),
+        pat.guaranteed_verifs().to_string(),
+        pat.partials_per_segment().to_string(),
+        pat.partial_verifs().to_string(),
+        format!("{:.0}", r.optimum.work()),
+        format!("{:.3}", 100.0 * r.optimum.overhead),
+    ];
+    if let Some(rep) = &r.report {
+        cells.push(format!(
+            "{:.3} ± {:.3}",
+            100.0 * rep.overhead.mean,
+            100.0 * rep.overhead.ci95
+        ));
+        cells.push(format!("{:.2}", rep.checkpoints_per_hour()));
+        cells.push(format!("{:.2}", rep.recoveries_per_day()));
+    }
+    cells
+}
+
+/// Streams the sweep through the executor as a formatted table: rows print
+/// in deterministic cell order as their prefixes complete.
+fn print_table(
+    executor: &SweepExecutor,
+    spec: &SweepSpec,
+    sim: Option<SimSettings>,
+    name_width: usize,
 ) {
-    let report = run_replications(&opt.pattern, p, c, cfg);
-    let m = opt.pattern.guaranteed_verifs();
-    let n = opt.pattern.partial_verifs().checked_div(m).unwrap_or(0);
-    out(&format!(
-        "{:<12} {:<9} {:>3} {:>3} {:>9.0} {:>9.3} {:>10.3} ± {:>5.3} {:>8.2} {:>8.2}",
-        name,
-        label,
-        m,
-        n,
-        opt.work(),
-        100.0 * opt.overhead,
-        100.0 * report.overhead.mean,
-        100.0 * report.overhead.ci95,
-        report.checkpoints_per_hour(),
-        report.recoveries_per_day(),
-    ));
-}
-
-fn theorem_rows(s: &Scenario, cfg: &RunConfig) {
-    let (p, c) = (&s.platform, &s.costs);
-    row(s.name, "theorem1", &theorem1(p, c), p, c, cfg);
-    row(s.name, "theorem2", &theorem2(p, c), p, c, cfg);
-    row(s.name, "theorem3", &theorem3(p, c), p, c, cfg);
-    row(s.name, "theorem4", &theorem4(p, c), p, c, cfg);
+    let mut fmt = TableFormat::new()
+        .col("scenario", name_width, Align::Left)
+        .col("pattern", 9, Align::Left)
+        .col("m", 3, Align::Right)
+        .col("n", 3, Align::Right)
+        .col("pv", 4, Align::Right)
+        .col("W*(s)", 9, Align::Right)
+        .col("H*(%)", 9, Align::Right);
+    if sim.is_some() {
+        fmt = fmt
+            .col("sim(%) ± ci", 18, Align::Right)
+            .col("ckpt/h", 8, Align::Right)
+            .col("rec/d", 8, Align::Right);
+    }
+    out(&fmt.header());
+    out(&fmt.rule());
+    executor.run_streaming(spec, sim, |r| out(&fmt.row(&render_cells(&r))));
 }
 
 fn main() {
     let args = parse_args();
-    let cfg = RunConfig {
-        replications: args.reps,
-        threads: args.threads,
-        seed: args.seed,
+    let sim_with = |reps: u64| {
+        Some(SimSettings {
+            replications: reps,
+            // The executor shards across cells; per-cell simulation stays a
+            // single deterministic stream so sharding cannot change output.
+            threads_per_cell: 1,
+            seed: args.seed,
+        })
     };
-    header();
-    match args.command.as_str() {
-        "sweep" => {
-            for s in reference_scenarios() {
-                theorem_rows(&s, &cfg);
-            }
-        }
-        "nodes" => {
-            for nodes in [1_000u64, 5_000, 10_000, 50_000] {
-                let name = format!("{nodes}n");
-                let platform = Platform::from_nodes(100.0 * YEAR, 40.0 * YEAR, nodes);
-                let costs = CostModel::new(60.0, 60.0, 30.0, 3.0, 0.5);
-                row(
-                    &name,
-                    "theorem4",
-                    &theorem4(&platform, &costs),
-                    &platform,
-                    &costs,
-                    &cfg,
-                );
-            }
-        }
-        "mtbf" => {
-            for years in [25.0f64, 50.0, 100.0, 200.0] {
-                let name = format!("{years:.0}y");
-                let platform = Platform::from_nodes(years * YEAR, 0.4 * years * YEAR, 10_000);
-                let costs = CostModel::new(60.0, 60.0, 30.0, 3.0, 0.5);
-                row(
-                    &name,
-                    "theorem4",
-                    &theorem4(&platform, &costs),
-                    &platform,
-                    &costs,
-                    &cfg,
-                );
-            }
-        }
-        "recall" => {
-            for recall in [0.2f64, 0.5, 0.8, 0.95] {
-                let name = format!("r={recall}");
-                let platform = Platform::new(9.46e-7, 3.38e-6);
-                let costs = CostModel::new(300.0, 300.0, 100.0, 20.0, recall);
-                row(
-                    &name,
-                    "theorem4",
-                    &theorem4(&platform, &costs),
-                    &platform,
-                    &costs,
-                    &cfg,
-                );
-            }
-        }
+    let default_sim = sim_with(args.reps.unwrap_or(DEFAULT_REPS));
+    let (spec, sim, name_width) = match args.command.as_str() {
+        "sweep" => (
+            SweepSpec::new()
+                .scenarios(&reference_scenarios())
+                .all_theorems(),
+            default_sim,
+            12,
+        ),
+        "nodes" => (nodes_spec(), default_sim, 12),
+        "mtbf" => (mtbf_spec(), default_sim, 12),
+        "recall" => (recall_spec(), default_sim, 12),
+        // Thousands of cells: analytic-only unless replications were
+        // requested explicitly.
+        "grid" => (grid_spec(args.grid_size), args.reps.and_then(sim_with), 20),
         other => die(&format!("unknown command: {other}")),
-    }
+    };
+
+    let executor = SweepExecutor::new(args.threads);
+    print_table(&executor, &spec, sim, name_width);
+
+    let cache = executor.cache().stats();
+    eprintln!(
+        "optimum cache: {} hits, {} misses, {} entries over {} cells",
+        cache.hits,
+        cache.misses,
+        cache.entries,
+        spec.len()
+    );
 }

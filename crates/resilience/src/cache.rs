@@ -1,0 +1,212 @@
+//! Memoized optimum cache: `(Platform, CostModel, Theorem) → PatternOptimum`.
+//!
+//! Closed-form optimization is cheap for Theorems 1–2 but Theorems 3–4
+//! re-derive `o_ef`/`o_rw` and Eq.-18 chunk vectors on every query, and grid
+//! sweeps repeat platform/cost points by construction (geometric axes
+//! collide). The cache keys on the *bit patterns* of the f64 fields
+//! ([`F64Key`]), so two queries hit the same entry exactly when every input
+//! is bit-identical — no epsilon surprises, and a cache hit can never change
+//! a result. Hit/miss counters are exposed so sweeps (and tests) can assert
+//! that repeated cells actually skip recomputation.
+//!
+//! Thread-safe and shareable (`Arc<OptimumCache>`): lookups take a mutex,
+//! but the optimization itself runs outside the lock, so concurrent misses
+//! on *different* keys never serialize. Concurrent misses on the *same* key
+//! may both compute; the optimizers are pure, so both arrive at the same
+//! value and the first insert wins.
+
+use crate::optimal::PatternOptimum;
+use crate::platform::{CostModel, Platform};
+use crate::sweep::Theorem;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Bit-exact hashable wrapper over an `f64`. Two keys are equal iff the
+/// floats have identical bit patterns (so `-0.0 ≠ 0.0` and NaNs compare by
+/// payload — stricter than `==`, which is what a memoization key wants).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct F64Key(u64);
+
+impl From<f64> for F64Key {
+    fn from(x: f64) -> Self {
+        Self(x.to_bits())
+    }
+}
+
+/// Full cache key: every float of the platform and cost model, bit-exact,
+/// plus the theorem.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct OptimumKey {
+    lambda_fail: F64Key,
+    lambda_silent: F64Key,
+    checkpoint: F64Key,
+    recovery: F64Key,
+    guaranteed_verif: F64Key,
+    partial_verif: F64Key,
+    recall: F64Key,
+    theorem: Theorem,
+}
+
+impl OptimumKey {
+    /// Builds the key for a query.
+    pub fn new(platform: &Platform, costs: &CostModel, theorem: Theorem) -> Self {
+        Self {
+            lambda_fail: platform.lambda_fail.into(),
+            lambda_silent: platform.lambda_silent.into(),
+            checkpoint: costs.checkpoint.into(),
+            recovery: costs.recovery.into(),
+            guaranteed_verif: costs.guaranteed_verif.into(),
+            partial_verif: costs.partial_verif.into(),
+            recall: costs.recall.into(),
+            theorem,
+        }
+    }
+}
+
+/// Snapshot of cache effectiveness counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Queries answered from the map.
+    pub hits: u64,
+    /// Queries that ran the optimizer.
+    pub misses: u64,
+    /// Distinct entries currently stored.
+    pub entries: usize,
+}
+
+/// Thread-safe memoization of theorem optima. Unbounded: a sweep's working
+/// set is its distinct (platform, costs, theorem) triples, which the caller
+/// controls.
+#[derive(Debug, Default)]
+pub struct OptimumCache {
+    map: Mutex<HashMap<OptimumKey, PatternOptimum>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl OptimumCache {
+    /// Empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the optimum for `(platform, costs, theorem)`, computing and
+    /// storing it on first query.
+    pub fn optimum(
+        &self,
+        platform: &Platform,
+        costs: &CostModel,
+        theorem: Theorem,
+    ) -> PatternOptimum {
+        let key = OptimumKey::new(platform, costs, theorem);
+        if let Some(found) = self.lock().get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return found.clone();
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        // Optimize outside the lock: concurrent misses on distinct keys
+        // must not serialize behind one Theorem-4 derivation.
+        let opt = theorem.optimize(platform, costs);
+        self.lock().entry(key).or_insert_with(|| opt.clone());
+        opt
+    }
+
+    /// Queries answered without recomputation.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Queries that ran the optimizer.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Distinct entries currently stored.
+    pub fn len(&self) -> usize {
+        self.lock().len()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Counter + size snapshot for diagnostics.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits(),
+            misses: self.misses(),
+            entries: self.len(),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, HashMap<OptimumKey, PatternOptimum>> {
+        // The map is only touched under this lock and nothing panics while
+        // holding it, so poisoning is unreachable; recover anyway.
+        self.map.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::reference_scenarios;
+
+    #[test]
+    fn second_query_hits_and_matches_direct_computation() {
+        let cache = OptimumCache::new();
+        let s = &reference_scenarios()[0];
+        let first = cache.optimum(&s.platform, &s.costs, Theorem::Four);
+        assert_eq!(cache.stats().hits, 0);
+        assert_eq!(cache.stats().misses, 1);
+        let second = cache.optimum(&s.platform, &s.costs, Theorem::Four);
+        assert_eq!(cache.stats().hits, 1);
+        assert_eq!(cache.stats().entries, 1);
+        assert_eq!(first, second);
+        assert_eq!(first, Theorem::Four.optimize(&s.platform, &s.costs));
+    }
+
+    #[test]
+    fn distinct_theorems_are_distinct_entries() {
+        let cache = OptimumCache::new();
+        let s = &reference_scenarios()[0];
+        for t in Theorem::ALL {
+            cache.optimum(&s.platform, &s.costs, t);
+        }
+        assert_eq!(cache.stats().misses, 4);
+        assert_eq!(cache.len(), 4);
+        assert!(!cache.is_empty());
+    }
+
+    #[test]
+    fn key_is_bit_exact_not_epsilon() {
+        let s = &reference_scenarios()[0];
+        let mut nudged = s.costs;
+        nudged.recall = f64::from_bits(s.costs.recall.to_bits() + 1);
+        let a = OptimumKey::new(&s.platform, &s.costs, Theorem::One);
+        let b = OptimumKey::new(&s.platform, &nudged, Theorem::One);
+        assert_ne!(a, b);
+        assert_eq!(a, OptimumKey::new(&s.platform, &s.costs, Theorem::One));
+    }
+
+    #[test]
+    fn shared_across_threads() {
+        let cache = std::sync::Arc::new(OptimumCache::new());
+        let s = reference_scenarios()[0];
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let cache = std::sync::Arc::clone(&cache);
+                scope.spawn(move || {
+                    for _ in 0..8 {
+                        cache.optimum(&s.platform, &s.costs, Theorem::Three);
+                    }
+                });
+            }
+        });
+        let stats = cache.stats();
+        assert_eq!(stats.hits + stats.misses, 32);
+        assert_eq!(stats.entries, 1);
+        assert!(stats.hits > 0, "repeated queries must hit");
+    }
+}

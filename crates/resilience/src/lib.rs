@@ -9,17 +9,24 @@
 //!   `H = o_ef/W + o_rw·W`, with the silent re-execution fraction computed
 //!   through the `βᵀAβ` quadratic form of Proposition 3;
 //! * [`optimal`] — closed-form optima for Theorems 1–4 (plus the Young/Daly
-//!   baseline), Eq. (18) chunk sizes, and convex integer rounding.
+//!   baseline), Eq. (18) chunk sizes, and convex integer rounding;
+//! * [`sweep`] — [`SweepSpec`] cross-products of (platform, costs) points ×
+//!   theorems, expanded into deterministically-indexed cells;
+//! * [`cache`] — the [`OptimumCache`] memoizing theorem optima on bit-exact
+//!   `(Platform, CostModel, Theorem)` keys, with hit/miss counters.
 //!
 //! Every closed form is cross-checked against the unified numeric optimizers
 //! of the `numerics` crate in `tests/consistency.rs`.
 
+pub mod cache;
 pub mod optimal;
 pub mod overhead;
 pub mod pattern;
 pub mod platform;
 pub mod scenario;
+pub mod sweep;
 
+pub use cache::{CacheStats, OptimumCache, OptimumKey};
 pub use optimal::{
     eq18_chunks, eq18_value, theorem1, theorem2, theorem3, theorem4, young_daly, PatternOptimum,
 };
@@ -27,3 +34,4 @@ pub use overhead::{error_free_cost, first_order_overhead, reexec_rate, silent_re
 pub use pattern::{CompiledChunk, CompiledPattern, Pattern, VerifyKind};
 pub use platform::{CostModel, Platform};
 pub use scenario::{reference_scenarios, validation_scenarios, Scenario};
+pub use sweep::{grid_spec, SweepCell, SweepSpec, Theorem};

@@ -158,6 +158,24 @@ impl Pattern {
         }
     }
 
+    /// Number of partial verifications inside one verified segment, derived
+    /// from the pattern shape (chunk count minus one). This is the `n` the
+    /// paper's tables report; unlike dividing [`partial_verifs`] by the
+    /// segment count, it is well-defined for every variant, including the
+    /// checkpoint-only pattern (no segments at all).
+    ///
+    /// [`partial_verifs`]: Pattern::partial_verifs
+    pub fn partials_per_segment(&self) -> u64 {
+        match *self {
+            Pattern::Checkpoint { .. }
+            | Pattern::VerifiedCheckpoint { .. }
+            | Pattern::GuaranteedSegments { .. } => 0,
+            Pattern::PartialChunks { ref chunks, .. } | Pattern::Combined { ref chunks, .. } => {
+                chunks.len().saturating_sub(1) as u64
+            }
+        }
+    }
+
     /// Checks the pattern's structural invariants: positive finite work,
     /// at least one segment, and chunk fractions that are positive and sum
     /// to 1. Called by [`compile`](Pattern::compile) and by the analytic
@@ -346,6 +364,34 @@ mod tests {
             chunks: vec![],
         }
         .validate();
+    }
+
+    #[test]
+    fn partials_per_segment_comes_from_chunk_shape() {
+        assert_eq!(Pattern::Checkpoint { work: 1.0 }.partials_per_segment(), 0);
+        assert_eq!(
+            Pattern::GuaranteedSegments {
+                work: 1.0,
+                segments: 5
+            }
+            .partials_per_segment(),
+            0
+        );
+        let combined = Pattern::Combined {
+            work: 1.0,
+            segments: 3,
+            chunks: vec![0.4, 0.3, 0.3],
+        };
+        assert_eq!(combined.partials_per_segment(), 2);
+        assert_eq!(
+            combined.partials_per_segment() * combined.guaranteed_verifs(),
+            combined.partial_verifs()
+        );
+        let partial = Pattern::PartialChunks {
+            work: 1.0,
+            chunks: vec![0.5, 0.5],
+        };
+        assert_eq!(partial.partials_per_segment(), 1);
     }
 
     #[test]

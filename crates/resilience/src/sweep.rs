@@ -1,0 +1,249 @@
+//! Sweep specifications: cross-products of (platform, cost-model) points and
+//! theorems, expanded into indexed cells.
+//!
+//! A [`SweepSpec`] is the declarative side of a parameter study: named
+//! (platform, cost-model) points crossed with the theorems to optimize at
+//! each point. [`SweepSpec::cells`] expands the cross-product in row-major
+//! order (points outer, theorems inner) and stamps every cell with its
+//! position, so any executor — serial or sharded — can report results in the
+//! same deterministic order. The `sim` crate's executor consumes these cells;
+//! [`grid_spec`] is the canonical node-count × MTBF × recall grid shared by
+//! the CLI's `grid` command and the determinism tests.
+
+use crate::optimal::{theorem1, theorem2, theorem3, theorem4, PatternOptimum};
+use crate::platform::{CostModel, Platform};
+use crate::scenario::Scenario;
+use stats::rates::YEAR;
+
+/// The paper's four pattern theorems, as dispatchable data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Theorem {
+    /// Theorem 1: single verified segment.
+    One,
+    /// Theorem 2: equal segments under guaranteed verifications.
+    Two,
+    /// Theorem 3: Eq.-18 chunks under partial verifications.
+    Three,
+    /// Theorem 4: combined guaranteed sub-segments with partial chunks.
+    Four,
+}
+
+impl Theorem {
+    /// All four theorems, in paper order.
+    pub const ALL: [Theorem; 4] = [Theorem::One, Theorem::Two, Theorem::Three, Theorem::Four];
+
+    /// Stable label used in tables and cache diagnostics.
+    pub fn label(self) -> &'static str {
+        match self {
+            Theorem::One => "theorem1",
+            Theorem::Two => "theorem2",
+            Theorem::Three => "theorem3",
+            Theorem::Four => "theorem4",
+        }
+    }
+
+    /// Runs the closed-form optimizer for this theorem.
+    pub fn optimize(self, platform: &Platform, costs: &CostModel) -> PatternOptimum {
+        match self {
+            Theorem::One => theorem1(platform, costs),
+            Theorem::Two => theorem2(platform, costs),
+            Theorem::Three => theorem3(platform, costs),
+            Theorem::Four => theorem4(platform, costs),
+        }
+    }
+}
+
+/// One expanded cell of a sweep: a named (platform, costs) point, the
+/// theorem to optimize there, and the cell's position in the deterministic
+/// row-major expansion order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepCell {
+    /// Position in the spec's expansion order; executors report results in
+    /// increasing `index` regardless of sharding.
+    pub index: usize,
+    /// Point name, e.g. `"hera"` or `"1000n-25y-r0.05"`.
+    pub name: String,
+    /// Error rates at this point.
+    pub platform: Platform,
+    /// Resilience costs at this point.
+    pub costs: CostModel,
+    /// Theorem to optimize.
+    pub theorem: Theorem,
+}
+
+/// Builder for sweep cross-products of points × theorems.
+#[derive(Debug, Clone, Default)]
+pub struct SweepSpec {
+    points: Vec<(String, Platform, CostModel)>,
+    theorems: Vec<Theorem>,
+}
+
+impl SweepSpec {
+    /// Empty spec.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one named (platform, costs) point.
+    pub fn point(mut self, name: impl Into<String>, platform: Platform, costs: CostModel) -> Self {
+        self.points.push((name.into(), platform, costs));
+        self
+    }
+
+    /// Adds a named scenario as a point.
+    pub fn scenario(self, s: &Scenario) -> Self {
+        self.point(s.name, s.platform, s.costs)
+    }
+
+    /// Adds every scenario in the iterator as a point.
+    pub fn scenarios<'a>(mut self, it: impl IntoIterator<Item = &'a Scenario>) -> Self {
+        for s in it {
+            self = self.scenario(s);
+        }
+        self
+    }
+
+    /// Adds one theorem to the cross-product.
+    pub fn theorem(mut self, t: Theorem) -> Self {
+        self.theorems.push(t);
+        self
+    }
+
+    /// Adds all four theorems.
+    pub fn all_theorems(mut self) -> Self {
+        self.theorems.extend(Theorem::ALL);
+        self
+    }
+
+    /// Number of cells the spec expands to.
+    pub fn len(&self) -> usize {
+        self.points.len() * self.theorems.len()
+    }
+
+    /// Whether the spec expands to no cells.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Expands the cross-product into indexed cells, row-major: points in
+    /// insertion order, theorems inner. The `index` fields are the cell's
+    /// position in this order, which every executor preserves on output.
+    pub fn cells(&self) -> Vec<SweepCell> {
+        let mut out = Vec::with_capacity(self.len());
+        for (name, platform, costs) in &self.points {
+            for &theorem in &self.theorems {
+                out.push(SweepCell {
+                    index: out.len(),
+                    name: name.clone(),
+                    platform: *platform,
+                    costs: *costs,
+                    theorem,
+                });
+            }
+        }
+        out
+    }
+}
+
+/// Geometric axis values of the canonical grid: node counts, per-node
+/// fail-stop MTBFs (years; silent MTBF is 0.4× as in the paper's petascale
+/// setup), and partial-verification recalls.
+pub const GRID_NODES: [u64; 10] = [
+    1_000, 2_000, 4_000, 8_000, 16_000, 32_000, 64_000, 128_000, 256_000, 512_000,
+];
+/// Per-node fail-stop MTBF axis, years.
+pub const GRID_MTBF_YEARS: [f64; 10] = [
+    25.0, 50.0, 100.0, 200.0, 400.0, 800.0, 1_600.0, 3_200.0, 6_400.0, 12_800.0,
+];
+/// Partial-verification recall axis.
+pub const GRID_RECALLS: [f64; 10] = [0.05, 0.15, 0.25, 0.35, 0.45, 0.55, 0.65, 0.75, 0.85, 0.95];
+
+/// The canonical node-count × MTBF × recall grid over the Theorem-4
+/// optimizer: the first `per_axis` values of each axis, crossed
+/// (`per_axis³` cells). `per_axis = 10` yields the full 1,000-cell grid.
+///
+/// Both axes are geometric with ratio 2, so many (nodes, MTBF) pairs share
+/// the exact platform rate `λ = nodes / mtbf` (power-of-two scaling of an
+/// f64 quotient is bit-exact): the grid intentionally contains repeated
+/// optimizer inputs, which the optimum cache collapses.
+///
+/// # Panics
+/// Panics when `per_axis` is 0 or exceeds the axis length.
+pub fn grid_spec(per_axis: usize) -> SweepSpec {
+    assert!(
+        per_axis >= 1 && per_axis <= GRID_NODES.len(),
+        "per_axis must lie in 1..={}",
+        GRID_NODES.len()
+    );
+    let mut spec = SweepSpec::new().theorem(Theorem::Four);
+    for &nodes in &GRID_NODES[..per_axis] {
+        for &years in &GRID_MTBF_YEARS[..per_axis] {
+            for &recall in &GRID_RECALLS[..per_axis] {
+                let name = format!("{nodes}n-{years:.0}y-r{recall}");
+                let platform = Platform::from_nodes(years * YEAR, 0.4 * years * YEAR, nodes);
+                let costs = CostModel::new(60.0, 60.0, 30.0, 3.0, recall);
+                spec = spec.point(name, platform, costs);
+            }
+        }
+    }
+    spec
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::reference_scenarios;
+
+    #[test]
+    fn cells_expand_row_major_with_contiguous_indices() {
+        let scenarios = reference_scenarios();
+        let spec = SweepSpec::new().scenarios(&scenarios).all_theorems();
+        let cells = spec.cells();
+        assert_eq!(cells.len(), 12);
+        assert_eq!(spec.len(), 12);
+        for (i, cell) in cells.iter().enumerate() {
+            assert_eq!(cell.index, i);
+            assert_eq!(cell.name, scenarios[i / 4].name);
+            assert_eq!(cell.theorem, Theorem::ALL[i % 4]);
+        }
+    }
+
+    #[test]
+    fn empty_spec_has_no_cells() {
+        assert!(SweepSpec::new().is_empty());
+        assert!(SweepSpec::new().all_theorems().cells().is_empty());
+    }
+
+    #[test]
+    fn theorem_optimize_matches_direct_calls() {
+        let s = &reference_scenarios()[0];
+        assert_eq!(
+            Theorem::Four.optimize(&s.platform, &s.costs),
+            theorem4(&s.platform, &s.costs)
+        );
+        assert_eq!(Theorem::One.label(), "theorem1");
+    }
+
+    #[test]
+    fn grid_spec_sizes_cube_with_axis() {
+        assert_eq!(grid_spec(1).len(), 1);
+        assert_eq!(grid_spec(3).len(), 27);
+        assert_eq!(grid_spec(10).len(), 1_000);
+    }
+
+    #[test]
+    fn grid_platforms_repeat_bit_exactly_across_the_diagonal() {
+        // 2000 nodes at 50y must equal 1000 nodes at 25y: the cache's
+        // bit-exact key relies on power-of-two scaling being lossless.
+        let a = Platform::from_nodes(25.0 * YEAR, 0.4 * 25.0 * YEAR, 1_000);
+        let b = Platform::from_nodes(50.0 * YEAR, 0.4 * 50.0 * YEAR, 2_000);
+        assert_eq!(a.lambda_fail.to_bits(), b.lambda_fail.to_bits());
+        assert_eq!(a.lambda_silent.to_bits(), b.lambda_silent.to_bits());
+    }
+
+    #[test]
+    #[should_panic(expected = "per_axis")]
+    fn oversized_grid_axis_rejected() {
+        grid_spec(11);
+    }
+}

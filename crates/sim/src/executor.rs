@@ -1,0 +1,254 @@
+//! Sharded sweep executor: expands a [`SweepSpec`] into cells, dispatches
+//! them over a pool of workers that pull from a shared queue (work-stealing:
+//! each worker claims the next unclaimed cell the moment it goes idle, so
+//! expensive cells never stall cheap ones), and streams results back in
+//! deterministic cell order.
+//!
+//! Determinism is structural, not incidental:
+//!
+//! * every cell's optimum comes from the pure closed-form optimizers
+//!   (through the shared [`OptimumCache`], whose bit-exact keys make a hit
+//!   indistinguishable from a recomputation);
+//! * every cell's Monte-Carlo seed is derived from `(base seed, cell index)`
+//!   by [`cell_seed`], never from which worker ran it;
+//! * a reorder buffer on the receiving side emits results in increasing
+//!   cell index as soon as each prefix completes.
+//!
+//! Consequently the sharded output is byte-identical to the serial loop at a
+//! fixed seed — `tests/executor.rs` asserts this cell-for-cell over the
+//! 1,000-cell canonical grid.
+
+use crate::runner::{run_replications, RunConfig, SimReport};
+use resilience::cache::OptimumCache;
+use resilience::optimal::PatternOptimum;
+use resilience::sweep::{SweepCell, SweepSpec, Theorem};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc};
+
+/// Monte-Carlo settings applied to every cell of a sweep. `None` in the
+/// executor API means analytic-only cells (no simulation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimSettings {
+    /// Replications per cell.
+    pub replications: u64,
+    /// Simulation threads *within* one cell. The executor already shards
+    /// across cells, so 1 is the right value for many-cell sweeps; larger
+    /// values only help a serial executor over a handful of huge cells.
+    pub threads_per_cell: usize,
+    /// Base seed; each cell simulates with [`cell_seed`]`(seed, index)`, so
+    /// results do not depend on worker assignment.
+    pub seed: u64,
+}
+
+/// One finished cell: the memoized optimum plus the optional simulation
+/// report, tagged with the cell's deterministic position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellResult {
+    /// Position in the spec's expansion order.
+    pub index: usize,
+    /// Point name from the spec.
+    pub name: String,
+    /// Theorem optimized in this cell.
+    pub theorem: Theorem,
+    /// Closed-form optimum at this cell's (platform, costs).
+    pub optimum: PatternOptimum,
+    /// Monte-Carlo report when simulation was requested.
+    pub report: Option<SimReport>,
+}
+
+/// Derives the per-cell simulation seed from the sweep's base seed and the
+/// cell index (one SplitMix64 scramble), so cell results are a pure function
+/// of `(spec, settings)` no matter how cells are sharded.
+pub fn cell_seed(base: u64, index: u64) -> u64 {
+    let mut z = base ^ index.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Sweep executor: a worker count and a shared optimum cache. Cheap to
+/// construct; reuse one across runs to keep amortizing the cache.
+#[derive(Debug)]
+pub struct SweepExecutor {
+    threads: usize,
+    cache: Arc<OptimumCache>,
+}
+
+impl SweepExecutor {
+    /// Executor with `threads` workers and a fresh cache.
+    pub fn new(threads: usize) -> Self {
+        Self::with_cache(threads, Arc::new(OptimumCache::new()))
+    }
+
+    /// Executor sharing an existing cache (e.g. across repeated sweeps or
+    /// with a future service layer).
+    pub fn with_cache(threads: usize, cache: Arc<OptimumCache>) -> Self {
+        Self {
+            threads: threads.max(1),
+            cache,
+        }
+    }
+
+    /// The shared optimum cache (hit/miss counters included).
+    pub fn cache(&self) -> &OptimumCache {
+        &self.cache
+    }
+
+    /// Runs the sweep and collects all results, ordered by cell index.
+    pub fn run(&self, spec: &SweepSpec, sim: Option<SimSettings>) -> Vec<CellResult> {
+        let mut out = Vec::with_capacity(spec.len());
+        self.run_streaming(spec, sim, |r| out.push(r));
+        out
+    }
+
+    /// Reference serial implementation: one worker, same per-cell seeds.
+    /// The executor's contract is that [`run`](Self::run) with any worker
+    /// count produces exactly this output.
+    pub fn run_serial(&self, spec: &SweepSpec, sim: Option<SimSettings>) -> Vec<CellResult> {
+        Self::with_cache(1, Arc::clone(&self.cache)).run(spec, sim)
+    }
+
+    /// Runs the sweep, invoking `emit` once per cell in increasing cell
+    /// index — streaming: result `i` is emitted as soon as cells `0..=i`
+    /// have all finished, not after the whole sweep.
+    pub fn run_streaming(
+        &self,
+        spec: &SweepSpec,
+        sim: Option<SimSettings>,
+        mut emit: impl FnMut(CellResult),
+    ) {
+        let cells = spec.cells();
+        let workers = self.threads.min(cells.len()).max(1);
+        if workers == 1 {
+            for cell in cells {
+                emit(self.eval(cell, sim));
+            }
+            return;
+        }
+
+        // Shared-queue work stealing: `cursor` is the queue head; an idle
+        // worker steals the next cell with one fetch_add. Results flow back
+        // over a channel and a reorder buffer restores cell order.
+        let cursor = AtomicUsize::new(0);
+        let (tx, rx) = mpsc::channel::<CellResult>();
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                let tx = tx.clone();
+                let cursor = &cursor;
+                let cells = &cells;
+                scope.spawn(move || loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    let Some(cell) = cells.get(i) else { break };
+                    if tx.send(self.eval(cell.clone(), sim)).is_err() {
+                        break;
+                    }
+                });
+            }
+            drop(tx);
+
+            let mut pending: HashMap<usize, CellResult> = HashMap::new();
+            let mut next = 0usize;
+            for result in rx {
+                pending.insert(result.index, result);
+                while let Some(r) = pending.remove(&next) {
+                    emit(r);
+                    next += 1;
+                }
+            }
+            assert!(
+                pending.is_empty() && next == cells.len(),
+                "executor lost cells: emitted {next} of {}",
+                cells.len()
+            );
+        });
+    }
+
+    /// Evaluates one cell: memoized optimum, then the optional simulation
+    /// with the cell-derived seed.
+    fn eval(&self, cell: SweepCell, sim: Option<SimSettings>) -> CellResult {
+        let optimum = self
+            .cache
+            .optimum(&cell.platform, &cell.costs, cell.theorem);
+        let report = sim.map(|s| {
+            run_replications(
+                &optimum.pattern,
+                &cell.platform,
+                &cell.costs,
+                &RunConfig {
+                    replications: s.replications,
+                    threads: s.threads_per_cell,
+                    seed: cell_seed(s.seed, cell.index as u64),
+                },
+            )
+        });
+        CellResult {
+            index: cell.index,
+            name: cell.name,
+            theorem: cell.theorem,
+            optimum,
+            report,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use resilience::scenario::reference_scenarios;
+
+    fn small_spec() -> SweepSpec {
+        SweepSpec::new()
+            .scenarios(&reference_scenarios())
+            .all_theorems()
+    }
+
+    #[test]
+    fn cell_seeds_are_distinct_and_stable() {
+        let a = cell_seed(0xc0de, 0);
+        let b = cell_seed(0xc0de, 1);
+        assert_ne!(a, b);
+        assert_eq!(a, cell_seed(0xc0de, 0));
+        assert_ne!(a, cell_seed(0xc0df, 0));
+    }
+
+    #[test]
+    fn streaming_emits_in_cell_order() {
+        let spec = small_spec();
+        let exec = SweepExecutor::new(8);
+        let mut indices = Vec::new();
+        exec.run_streaming(&spec, None, |r| indices.push(r.index));
+        assert_eq!(indices, (0..spec.len()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn analytic_results_match_direct_optimizers() {
+        let spec = small_spec();
+        let results = SweepExecutor::new(4).run(&spec, None);
+        for (r, cell) in results.iter().zip(spec.cells()) {
+            assert_eq!(r.name, cell.name);
+            assert_eq!(r.theorem, cell.theorem);
+            assert!(r.report.is_none());
+            assert_eq!(
+                r.optimum,
+                cell.theorem.optimize(&cell.platform, &cell.costs)
+            );
+        }
+    }
+
+    #[test]
+    fn simulated_sweep_is_reproducible() {
+        let spec = small_spec();
+        let sim = Some(SimSettings {
+            replications: 40,
+            threads_per_cell: 1,
+            seed: 7,
+        });
+        let a = SweepExecutor::new(6).run(&spec, sim);
+        let b = SweepExecutor::new(6).run(&spec, sim);
+        assert_eq!(a, b);
+        assert!(a
+            .iter()
+            .all(|r| r.report.as_ref().unwrap().overhead.count == 40));
+    }
+}

@@ -6,16 +6,23 @@
 //!   exponential fail-stop and silent-error arrivals, with rollback,
 //!   recovery and re-execution;
 //! * [`runner`] — multi-threaded replication runner merging per-thread
-//!   [`stats::OnlineStats`] into [`stats::Summary`] confidence intervals.
+//!   [`stats::OnlineStats`] into [`stats::Summary`] confidence intervals;
+//! * [`executor`] — sharded sweep executor dispatching `SweepSpec` cells
+//!   over a work-stealing pool, memoizing optima through the shared
+//!   `OptimumCache` and streaming results in deterministic cell order.
 //!
 //! `tests/validation.rs` closes the loop with the analytic side: for every
 //! theorem's optimal pattern, the simulated mean overhead must fall within
-//! its own 95% confidence interval of the first-order prediction.
+//! its own 95% confidence interval of the first-order prediction;
+//! `tests/executor.rs` pins sharded sweeps byte-identical to the serial
+//! loop and asserts the optimum cache collapses repeated cells.
 
 pub mod engine;
+pub mod executor;
 pub mod rng;
 pub mod runner;
 
 pub use engine::{execute_pattern, Execution};
+pub use executor::{cell_seed, CellResult, SimSettings, SweepExecutor};
 pub use rng::Rng;
-pub use runner::{run_replications, RunConfig, SimReport};
+pub use runner::{run_replications, thread_cap, RunConfig, SimReport};

@@ -10,15 +10,32 @@ use resilience::platform::{CostModel, Platform};
 use stats::rates::{per_day, per_hour};
 use stats::{OnlineStats, Summary};
 
+/// Upper bound on spawned OS worker threads: a generous multiple of the
+/// machine's parallelism (oversubscription beyond this only adds scheduler
+/// pressure). [`run_replications`] spawns at most this many OS threads but
+/// still evaluates every requested *RNG stream*, so the cap never changes
+/// results — only scheduling. Interactive callers (the CLI) use it to warn
+/// before clamping user input.
+pub fn thread_cap() -> usize {
+    4 * std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(8)
+}
+
 /// Replication-run configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RunConfig {
     /// Number of independent pattern executions.
     pub replications: u64,
-    /// Worker threads; clamped to at least 1.
+    /// Number of independent RNG streams the replications are partitioned
+    /// into (at least 1, at most one per replication). Streams map onto at
+    /// most [`thread_cap`] OS threads; requesting more streams than the cap
+    /// multiplexes them rather than spawning more threads, so results stay
+    /// machine-independent.
     pub threads: usize,
-    /// Base seed; thread streams are split deterministically from it, so a
-    /// fixed `(seed, threads, replications)` triple reproduces exactly.
+    /// Base seed; streams are split deterministically from it, so a fixed
+    /// `(seed, threads, replications)` triple reproduces exactly on any
+    /// machine.
     pub seed: u64,
 }
 
@@ -80,6 +97,10 @@ struct ThreadAcc {
 
 /// Runs `cfg.replications` independent executions of `pattern` and merges
 /// the per-thread statistics.
+///
+/// Zero replications yield a well-defined empty report: all-zero summaries
+/// ([`Summary::empty`]), zero counters, and no threads spawned — not NaN
+/// means or ±∞ ranges.
 pub fn run_replications(
     pattern: &Pattern,
     platform: &Platform,
@@ -87,43 +108,74 @@ pub fn run_replications(
     cfg: &RunConfig,
 ) -> SimReport {
     let compiled = pattern.compile();
+    if cfg.replications == 0 {
+        return SimReport {
+            overhead: Summary::empty(),
+            time: Summary::empty(),
+            fail_stop_events: 0,
+            silent_errors: 0,
+            silent_detections: 0,
+            total_time: 0.0,
+            replications: 0,
+        };
+    }
     let work = compiled.total_work;
-    let threads = cfg.threads.max(1).min(cfg.replications.max(1) as usize);
+    // Stream count defines the statistical partition (and hence the exact
+    // results); OS threads are a scheduling detail capped separately, so a
+    // (seed, threads, replications) triple reproduces on any machine.
+    let stream_count = cfg.threads.max(1).min(cfg.replications as usize);
+    let os_threads = stream_count.min(thread_cap());
     let mut root = Rng::new(cfg.seed);
-    let streams: Vec<Rng> = (0..threads).map(|_| root.split()).collect();
+    let streams: Vec<Rng> = (0..stream_count).map(|_| root.split()).collect();
 
-    let accs: Vec<ThreadAcc> = std::thread::scope(|scope| {
+    // Contiguous stream buckets, one per OS thread.
+    let chunk = stream_count.div_ceil(os_threads);
+    let mut buckets: Vec<Vec<(usize, Rng)>> = (0..os_threads).map(|_| Vec::new()).collect();
+    for (i, rng) in streams.into_iter().enumerate() {
+        buckets[i / chunk].push((i, rng));
+    }
+
+    let mut accs: Vec<(usize, ThreadAcc)> = std::thread::scope(|scope| {
         let compiled = &compiled;
-        let handles: Vec<_> = streams
+        let handles: Vec<_> = buckets
             .into_iter()
-            .enumerate()
-            .map(|(i, mut rng)| {
+            .map(|bucket| {
                 scope.spawn(move || {
-                    // Split replications as evenly as possible.
-                    let base = cfg.replications / threads as u64;
-                    let extra = u64::from((i as u64) < cfg.replications % threads as u64);
-                    let mut acc = ThreadAcc::default();
-                    for _ in 0..base + extra {
-                        let e = execute_pattern(compiled, platform, costs, &mut rng);
-                        acc.overhead.push((e.time - work) / work);
-                        acc.time.push(e.time);
-                        acc.fail_stop += e.fail_stop_events;
-                        acc.silent += e.silent_errors;
-                        acc.detections += e.silent_detections;
-                        acc.total_time += e.time;
-                    }
-                    acc
+                    bucket
+                        .into_iter()
+                        .map(|(i, mut rng)| {
+                            // Split replications over streams as evenly as
+                            // possible.
+                            let base = cfg.replications / stream_count as u64;
+                            let extra =
+                                u64::from((i as u64) < cfg.replications % stream_count as u64);
+                            let mut acc = ThreadAcc::default();
+                            for _ in 0..base + extra {
+                                let e = execute_pattern(compiled, platform, costs, &mut rng);
+                                acc.overhead.push((e.time - work) / work);
+                                acc.time.push(e.time);
+                                acc.fail_stop += e.fail_stop_events;
+                                acc.silent += e.silent_errors;
+                                acc.detections += e.silent_detections;
+                                acc.total_time += e.time;
+                            }
+                            (i, acc)
+                        })
+                        .collect::<Vec<_>>()
                 })
             })
             .collect();
         handles
             .into_iter()
-            .map(|h| h.join().expect("replication thread panicked"))
+            .flat_map(|h| h.join().expect("replication thread panicked"))
             .collect()
     });
+    // Merge in stream order: floating-point merges are order-sensitive, and
+    // stream order is the one invariant under the OS-thread cap.
+    accs.sort_unstable_by_key(|(i, _)| *i);
 
     let mut merged = ThreadAcc::default();
-    for acc in &accs {
+    for (_, acc) in &accs {
         merged.overhead.merge(&acc.overhead);
         merged.time.merge(&acc.time);
         merged.fail_stop += acc.fail_stop;
@@ -222,6 +274,90 @@ mod tests {
         // sees it, so detections can only fall short of injections.
         assert!(r.silent_detections <= r.silent_errors);
         assert!(r.recoveries_per_day() > 0.0);
+    }
+
+    #[test]
+    fn zero_replications_yield_finite_empty_report() {
+        let (p, c, pat) = setup();
+        let r = run_replications(
+            &pat,
+            &p,
+            &c,
+            &RunConfig {
+                replications: 0,
+                threads: 4,
+                seed: 9,
+            },
+        );
+        assert_eq!(r.replications, 0);
+        assert_eq!(r.overhead, stats::Summary::empty());
+        assert_eq!(r.time, stats::Summary::empty());
+        assert_eq!(
+            r.fail_stop_events + r.silent_errors + r.silent_detections,
+            0
+        );
+        // Derived rates must be finite zeros, not 0/0 NaN.
+        assert_eq!(r.checkpoints_per_hour(), 0.0);
+        assert_eq!(r.recoveries_per_day(), 0.0);
+    }
+
+    #[test]
+    fn absurd_thread_requests_are_clamped_not_spawned() {
+        // A million requested threads must not reach thread::scope (streams
+        // cap at one per replication, OS threads at thread_cap()); the run
+        // still completes and observes every replication.
+        let (p, c, pat) = setup();
+        let r = run_replications(
+            &pat,
+            &p,
+            &c,
+            &RunConfig {
+                replications: 50,
+                threads: 1_000_000,
+                seed: 2,
+            },
+        );
+        assert_eq!(r.overhead.count, 50);
+        assert!(thread_cap() >= 4);
+    }
+
+    #[test]
+    fn stream_partition_is_independent_of_os_thread_multiplexing() {
+        // The RNG-stream partition defines the results; how streams map
+        // onto OS threads must not. Evaluate an 8-stream run serially by
+        // hand (stream-ordered merge, as documented) and require
+        // run_replications — which on this machine multiplexes those
+        // streams onto at most thread_cap() OS threads — to match exactly.
+        let (p, c, pat) = setup();
+        let cfg = RunConfig {
+            replications: 83,
+            threads: 8,
+            seed: 21,
+        };
+        let report = run_replications(&pat, &p, &c, &cfg);
+
+        let compiled = pat.compile();
+        let work = compiled.total_work;
+        let mut root = Rng::new(cfg.seed);
+        let mut overhead = OnlineStats::new();
+        let mut total_time = 0.0;
+        for i in 0..8u64 {
+            let mut rng = root.split();
+            let reps = cfg.replications / 8 + u64::from(i < cfg.replications % 8);
+            let mut stream = OnlineStats::new();
+            let mut stream_time = 0.0;
+            for _ in 0..reps {
+                let e = execute_pattern(&compiled, &p, &c, &mut rng);
+                stream.push((e.time - work) / work);
+                stream_time += e.time;
+            }
+            overhead.merge(&stream);
+            // Subtotal per stream, like the runner: f64 addition is not
+            // associative, and "exact" here means bit-exact.
+            total_time += stream_time;
+        }
+        assert_eq!(report.overhead, Summary::from_stats(&overhead));
+        assert_eq!(report.total_time, total_time);
     }
 
     #[test]

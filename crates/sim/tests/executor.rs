@@ -1,0 +1,135 @@
+//! Executor acceptance tests: sharded output byte-identical to the serial
+//! loop over the 1,000-cell canonical grid, and the optimum cache collapsing
+//! repeated cells.
+
+use resilience::cache::OptimumCache;
+use resilience::sweep::{grid_spec, SweepSpec, Theorem};
+use resilience::{reference_scenarios, Pattern};
+use sim::executor::{CellResult, SimSettings, SweepExecutor};
+use std::sync::Arc;
+
+/// Renders one cell result exactly the way a table row would: every float
+/// through fixed-precision formatting, so equality here is byte equality of
+/// the user-visible output.
+fn render(r: &CellResult) -> String {
+    let mut line = format!(
+        "{} {} m={} n={} pv={} W={:.3} H={:.6}",
+        r.name,
+        r.theorem.label(),
+        r.optimum.pattern.guaranteed_verifs(),
+        r.optimum.pattern.partials_per_segment(),
+        r.optimum.pattern.partial_verifs(),
+        r.optimum.work(),
+        r.optimum.overhead,
+    );
+    if let Some(rep) = &r.report {
+        line.push_str(&format!(
+            " sim={:.6}±{:.6} ckpt/h={:.3} rec/d={:.3}",
+            rep.overhead.mean,
+            rep.overhead.ci95,
+            rep.checkpoints_per_hour(),
+            rep.recoveries_per_day(),
+        ));
+    }
+    line
+}
+
+#[test]
+fn sharded_grid_is_byte_identical_to_serial_over_1000_cells() {
+    let spec = grid_spec(10);
+    assert!(spec.len() >= 1_000, "grid must be at least 1,000 cells");
+
+    let sharded_exec = SweepExecutor::new(8);
+    let sharded = sharded_exec.run(&spec, None);
+    let serial = sharded_exec.run_serial(&spec, None);
+    assert_eq!(serial.len(), 1_000);
+    assert_eq!(sharded.len(), 1_000);
+
+    for (s, p) in serial.iter().zip(&sharded) {
+        assert_eq!(s, p, "cell {} diverged between serial and sharded", s.index);
+        assert_eq!(render(s), render(p));
+    }
+}
+
+#[test]
+fn optimum_cache_collapses_the_grid_repeats() {
+    // The grid's geometric axes repeat platform rates bit-exactly, so a
+    // single serial pass must already hit: 10×10 (nodes, mtbf) pairs share
+    // 19 distinct ratios, ×10 recalls = 190 distinct optimizer inputs for
+    // 1,000 cells.
+    let spec = grid_spec(10);
+    let exec = SweepExecutor::new(1);
+    exec.run(&spec, None);
+    let stats = exec.cache().stats();
+    assert_eq!(stats.hits + stats.misses, 1_000);
+    assert_eq!(stats.entries, 190);
+    assert_eq!(stats.misses, 190);
+    assert_eq!(stats.hits, 810, "repeated cells must hit the cache");
+}
+
+#[test]
+fn repeated_sweeps_hit_a_shared_cache_exactly() {
+    let spec = SweepSpec::new()
+        .scenarios(&reference_scenarios())
+        .all_theorems();
+    let cache = Arc::new(OptimumCache::new());
+    let exec = SweepExecutor::with_cache(1, Arc::clone(&cache));
+
+    let first = exec.run(&spec, None);
+    assert_eq!(cache.stats().hits, 0);
+    assert_eq!(cache.stats().misses, 12);
+
+    let second = exec.run(&spec, None);
+    assert_eq!(cache.stats().hits, 12, "second pass must be all hits");
+    assert_eq!(cache.stats().misses, 12);
+    assert_eq!(first, second, "cache hits must not change results");
+}
+
+#[test]
+fn sharded_simulated_sweep_matches_serial_cell_for_cell() {
+    let spec = SweepSpec::new()
+        .scenarios(&reference_scenarios())
+        .all_theorems();
+    let sim = Some(SimSettings {
+        replications: 60,
+        threads_per_cell: 1,
+        seed: 0xc0de,
+    });
+    let exec = SweepExecutor::new(7);
+    let sharded = exec.run(&spec, sim);
+    let serial = exec.run_serial(&spec, sim);
+    assert_eq!(serial, sharded);
+    for (s, p) in serial.iter().zip(&sharded) {
+        assert_eq!(render(s), render(p));
+        assert_eq!(s.report.as_ref().unwrap().overhead.count, 60);
+    }
+}
+
+#[test]
+fn grid_optima_are_structurally_sane() {
+    // Spot the scaling story: theorem-4 optima over the grid stay valid
+    // patterns (compile cleanly) and overheads grow with platform stress.
+    let spec = grid_spec(3);
+    let results = SweepExecutor::new(4).run(&spec, None);
+    assert_eq!(results.len(), 27);
+    for r in &results {
+        assert_eq!(r.theorem, Theorem::Four);
+        assert!(r.optimum.overhead > 0.0);
+        let compiled = r.optimum.pattern.compile();
+        assert!(compiled.verified, "{}", r.name);
+        if let Pattern::Combined { segments, .. } = r.optimum.pattern {
+            assert!(segments >= 1);
+        }
+    }
+    // First grid point (1000n, 25y) is the most failure-prone of its recall
+    // column; the same recall at (1000n, 100y) must be cheaper.
+    let h = |name: &str| {
+        results
+            .iter()
+            .find(|r| r.name == name)
+            .expect(name)
+            .optimum
+            .overhead
+    };
+    assert!(h("1000n-25y-r0.05") > h("1000n-100y-r0.05"));
+}

@@ -6,14 +6,18 @@
 //! * [`rates`] — conversions between event counts and per-hour/per-day rates,
 //!   matching the units of the paper's Figures 6–9;
 //! * [`histogram`] — fixed-bin histograms for inspecting simulated
-//!   distributions.
+//!   distributions;
+//! * [`table`] — fixed-width, byte-stable table formatting for sweep result
+//!   rows.
 
 pub mod histogram;
 pub mod online;
 pub mod rates;
 pub mod summary;
+pub mod table;
 
 pub use histogram::Histogram;
 pub use online::OnlineStats;
 pub use rates::{per_day, per_hour, DAY, HOUR, YEAR};
 pub use summary::Summary;
+pub use table::{Align, TableFormat};

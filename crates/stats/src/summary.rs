@@ -35,6 +35,20 @@ impl Summary {
         }
     }
 
+    /// The summary of zero observations: every field zero and finite, so a
+    /// run with no replications renders as blank-ish zeros rather than NaN
+    /// or ±∞ (an empty [`OnlineStats`] reports infinite min/max sentinels).
+    pub fn empty() -> Self {
+        Self {
+            count: 0,
+            mean: 0.0,
+            std_dev: 0.0,
+            ci95: 0.0,
+            min: 0.0,
+            max: 0.0,
+        }
+    }
+
     /// Whether `other`'s mean lies within this summary's 95% CI.
     pub fn ci_contains(&self, value: f64) -> bool {
         (value - self.mean).abs() <= self.ci95
@@ -81,6 +95,17 @@ mod tests {
         assert_eq!(sum.ci95, 0.0);
         assert!(sum.ci_contains(7.0));
         assert!(!sum.ci_contains(7.1));
+    }
+
+    #[test]
+    fn empty_summary_is_all_finite_zeros() {
+        let e = Summary::empty();
+        assert_eq!(e.count, 0);
+        for v in [e.mean, e.std_dev, e.ci95, e.min, e.max] {
+            assert_eq!(v, 0.0);
+            assert!(v.is_finite());
+        }
+        assert!(e.ci_contains(0.0));
     }
 
     #[test]

@@ -1,0 +1,140 @@
+//! Fixed-width table formatting for sweep result rows.
+//!
+//! The CLI (and anything else streaming cell results) needs deterministic,
+//! byte-stable rows: same inputs → same bytes, independent of how the cells
+//! were scheduled. Centralizing the column layout here keeps every command's
+//! table aligned the same way and makes "byte-identical serial vs sharded"
+//! a property of the data rather than of ad-hoc format strings.
+
+/// Horizontal alignment of a column's cells (headers align the same way).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Align {
+    /// Pad on the right.
+    Left,
+    /// Pad on the left.
+    Right,
+}
+
+#[derive(Debug, Clone)]
+struct Column {
+    header: String,
+    width: usize,
+    align: Align,
+}
+
+/// A column layout that renders header, rule and data rows as fixed-width
+/// single-space-separated text.
+#[derive(Debug, Clone, Default)]
+pub struct TableFormat {
+    cols: Vec<Column>,
+}
+
+impl TableFormat {
+    /// Empty layout.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a column. Cells wider than `width` are not truncated; they
+    /// push the rest of their row right (matching `format!` padding).
+    pub fn col(mut self, header: &str, width: usize, align: Align) -> Self {
+        self.cols.push(Column {
+            header: header.to_string(),
+            width,
+            align,
+        });
+        self
+    }
+
+    /// Number of columns.
+    pub fn len(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// Whether the layout has no columns.
+    pub fn is_empty(&self) -> bool {
+        self.cols.is_empty()
+    }
+
+    /// Header row.
+    pub fn header(&self) -> String {
+        let headers: Vec<String> = self.cols.iter().map(|c| c.header.clone()).collect();
+        self.row(&headers)
+    }
+
+    /// Horizontal rule sized to the full table width.
+    pub fn rule(&self) -> String {
+        let width =
+            self.cols.iter().map(|c| c.width).sum::<usize>() + self.cols.len().saturating_sub(1);
+        "-".repeat(width)
+    }
+
+    /// One data row from pre-rendered cell strings.
+    ///
+    /// # Panics
+    /// Panics when the cell count does not match the column count.
+    pub fn row<S: AsRef<str>>(&self, cells: &[S]) -> String {
+        assert_eq!(
+            cells.len(),
+            self.cols.len(),
+            "row has {} cells but the layout has {} columns",
+            cells.len(),
+            self.cols.len()
+        );
+        let mut out = String::new();
+        for (col, cell) in self.cols.iter().zip(cells) {
+            if !out.is_empty() {
+                out.push(' ');
+            }
+            let cell = cell.as_ref();
+            match col.align {
+                Align::Left => out.push_str(&format!("{cell:<width$}", width = col.width)),
+                Align::Right => out.push_str(&format!("{cell:>width$}", width = col.width)),
+            }
+        }
+        // Left-aligned last columns leave trailing padding; strip it so rows
+        // are byte-stable regardless of terminal copy/paste trimming.
+        out.truncate(out.trim_end().len());
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn layout() -> TableFormat {
+        TableFormat::new()
+            .col("name", 6, Align::Left)
+            .col("x", 5, Align::Right)
+    }
+
+    #[test]
+    fn header_and_rule_match_column_widths() {
+        let t = layout();
+        assert_eq!(t.header(), "name       x");
+        assert_eq!(t.rule().len(), 12);
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn rows_align_per_column() {
+        let t = layout();
+        assert_eq!(t.row(&["ab", "1.5"]), "ab       1.5");
+        // Identical inputs render to identical bytes.
+        assert_eq!(t.row(&["ab", "1.5"]), t.row(&["ab", "1.5"]));
+    }
+
+    #[test]
+    fn trailing_whitespace_is_stripped() {
+        let t = TableFormat::new().col("name", 8, Align::Left);
+        assert_eq!(t.row(&["ab"]), "ab");
+    }
+
+    #[test]
+    #[should_panic(expected = "columns")]
+    fn cell_count_mismatch_panics() {
+        layout().row(&["only-one"]);
+    }
+}
