@@ -2,8 +2,9 @@
 //! the sharded sweep executor.
 //!
 //! ```text
-//! resilience-cli [sweep|nodes|mtbf|recall|grid]
+//! resilience-cli [sweep|nodes|mtbf|recall|grid|bench]
 //!                [--reps N] [--threads N] [--seed S] [--grid-size K]
+//!                [--engine event|batch|auto] [--bench-out PATH]
 //! ```
 //!
 //! * `sweep`  — the three reference scenarios × Theorems 1–4 (default);
@@ -12,11 +13,15 @@
 //! * `recall` — partial-verification accuracy sweep (Theorem 4);
 //! * `grid`   — node-count × MTBF × recall cross-product (`K³` cells,
 //!   default `K = 10` → 1,000 cells), analytic-only unless `--reps` is
-//!   given.
+//!   given;
+//! * `bench`  — times every simulation engine on one large single-cell run
+//!   and records the results as `BENCH_engines.json`.
 //!
-//! Every command expands a `SweepSpec` and shards its cells over
+//! Every sweep command expands a `SweepSpec` and shards its cells over
 //! `--threads` workers; results stream back in deterministic cell order, so
-//! output at a fixed seed is byte-identical to the serial loop. Optimizer
+//! output at a fixed seed is byte-identical to the serial loop. `--engine`
+//! picks the per-cell simulation backend (`auto`, the default, batches
+//! above `Backend::AUTO_BATCH_THRESHOLD` replications per cell). Optimizer
 //! queries go through the shared memoized cache, whose hit/miss totals are
 //! reported on stderr. Overheads are percentages; checkpoint and recovery
 //! frequencies use the paper's per-hour / per-day units.
@@ -24,10 +29,12 @@
 use resilience::{grid_spec, reference_scenarios, CostModel, Platform, SweepSpec, Theorem};
 use sim::executor::{CellResult, SimSettings, SweepExecutor};
 use sim::runner::thread_cap;
+use sim::Backend;
 use stats::rates::YEAR;
 use stats::table::{Align, TableFormat};
 
 const DEFAULT_REPS: u64 = 4_000;
+const DEFAULT_BENCH_REPS: u64 = 1_000_000;
 const GRID_AXIS_MAX: usize = 10;
 
 struct Args {
@@ -37,6 +44,8 @@ struct Args {
     threads: usize,
     seed: u64,
     grid_size: usize,
+    engine: Backend,
+    bench_out: String,
 }
 
 fn parse_args() -> Args {
@@ -46,20 +55,31 @@ fn parse_args() -> Args {
         threads: 4,
         seed: 0xc0de,
         grid_size: GRID_AXIS_MAX,
+        engine: Backend::Auto,
+        bench_out: "BENCH_engines.json".to_string(),
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < argv.len() {
         match argv[i].as_str() {
-            "sweep" | "nodes" | "mtbf" | "recall" | "grid" => args.command = argv[i].clone(),
+            "sweep" | "nodes" | "mtbf" | "recall" | "grid" | "bench" => {
+                args.command = argv[i].clone()
+            }
             "--reps" => args.reps = Some(parse_num(&take_value(&argv, &mut i))),
             "--threads" => args.threads = parse_num(&take_value(&argv, &mut i)) as usize,
             "--seed" => args.seed = parse_num(&take_value(&argv, &mut i)),
             "--grid-size" => args.grid_size = parse_num(&take_value(&argv, &mut i)) as usize,
+            "--engine" => {
+                let v = take_value(&argv, &mut i);
+                args.engine = Backend::parse(&v)
+                    .unwrap_or_else(|| die(&format!("--engine must be event, batch or auto: {v}")));
+            }
+            "--bench-out" => args.bench_out = take_value(&argv, &mut i),
             "--help" | "-h" => {
                 println!(
-                    "usage: resilience-cli [sweep|nodes|mtbf|recall|grid]\n\
+                    "usage: resilience-cli [sweep|nodes|mtbf|recall|grid|bench]\n\
                      \x20                     [--reps N] [--threads N] [--seed S] [--grid-size K]\n\
+                     \x20                     [--engine event|batch|auto] [--bench-out PATH]\n\
                      \n\
                      \x20 sweep    reference scenarios x theorems 1-4 (default)\n\
                      \x20 nodes    node-count sweep, theorem 4\n\
@@ -67,11 +87,16 @@ fn parse_args() -> Args {
                      \x20 recall   partial-verification recall sweep, theorem 4\n\
                      \x20 grid     node-count x MTBF x recall cross-product (K^3 cells),\n\
                      \x20          analytic-only unless --reps is given\n\
+                     \x20 bench    time event vs batch engines on one single-cell run\n\
+                     \x20          (default {DEFAULT_BENCH_REPS} replications) and write --bench-out\n\
                      \n\
                      \x20 --reps N       Monte-Carlo replications per cell (>= 1; default {DEFAULT_REPS})\n\
                      \x20 --threads N    sweep worker threads (clamped to 4x machine parallelism)\n\
                      \x20 --seed S       base seed; per-cell streams derive from it\n\
-                     \x20 --grid-size K  grid axis length, 1..={GRID_AXIS_MAX} (default {GRID_AXIS_MAX})"
+                     \x20 --grid-size K  grid axis length, 1..={GRID_AXIS_MAX} (default {GRID_AXIS_MAX})\n\
+                     \x20 --engine E     simulation backend: event (bit-stable reference),\n\
+                     \x20                batch (SoA lockstep), auto (batch for large runs; default)\n\
+                     \x20 --bench-out P  bench JSON path (default BENCH_engines.json)"
                 );
                 std::process::exit(0);
             }
@@ -224,8 +249,114 @@ fn print_table(
     executor.run_streaming(spec, sim, |r| out(&fmt.row(&render_cells(&r))));
 }
 
+/// Times one engine over a full single-cell replication run, returning
+/// elapsed seconds. Single stream (`threads: 1`), so the measurement is the
+/// engine's own speed, not the thread pool's.
+fn time_engine(
+    backend: Backend,
+    reps: u64,
+    seed: u64,
+    pattern: &resilience::Pattern,
+    platform: &Platform,
+    costs: &CostModel,
+) -> f64 {
+    let cfg = sim::RunConfig {
+        replications: reps,
+        threads: 1,
+        seed,
+        backend,
+        time_hist: None,
+    };
+    let start = std::time::Instant::now();
+    let report = sim::run_replications(pattern, platform, costs, &cfg);
+    let secs = start.elapsed().as_secs_f64();
+    assert_eq!(report.replications, reps);
+    secs
+}
+
+/// `bench`: one large single-cell run (hera, Theorem-4 optimum) per engine,
+/// wall-clock timed, table on stdout and machine-readable JSON at
+/// `bench_out` so CI can archive the perf trajectory.
+fn run_bench(args: &Args) {
+    let scenario = &reference_scenarios()[0];
+    let optimum = Theorem::Four.optimize(&scenario.platform, &scenario.costs);
+    let reps = args.reps.unwrap_or(DEFAULT_BENCH_REPS);
+
+    let fmt = TableFormat::new()
+        .col("engine", 7, Align::Left)
+        .col("seconds", 9, Align::Right)
+        .col("reps/s", 12, Align::Right);
+    out(&fmt.header());
+    out(&fmt.rule());
+
+    let mut timings = Vec::new();
+    for backend in [Backend::Event, Backend::Batch] {
+        // Warmup pass: fault in code and warm caches outside the timing.
+        time_engine(
+            backend,
+            (reps / 100).max(1),
+            args.seed,
+            &optimum.pattern,
+            &scenario.platform,
+            &scenario.costs,
+        );
+        let secs = time_engine(
+            backend,
+            reps,
+            args.seed,
+            &optimum.pattern,
+            &scenario.platform,
+            &scenario.costs,
+        );
+        out(&fmt.row(&[
+            backend.label().to_string(),
+            format!("{secs:.3}"),
+            format!("{:.0}", reps as f64 / secs),
+        ]));
+        timings.push((backend, secs));
+    }
+
+    let engines_json: Vec<String> = timings
+        .iter()
+        .map(|(b, secs)| {
+            format!(
+                "    {{\"engine\": \"{}\", \"seconds\": {:.6}, \"reps_per_sec\": {:.0}}}",
+                b.label(),
+                secs,
+                reps as f64 / secs
+            )
+        })
+        .collect();
+    let secs_of = |wanted: Backend| {
+        timings
+            .iter()
+            .find(|(b, _)| *b == wanted)
+            .map(|(_, secs)| *secs)
+            .unwrap_or_else(|| die(&format!("engine {} was not benchmarked", wanted.label())))
+    };
+    let speedup = secs_of(Backend::Event) / secs_of(Backend::Batch);
+    let json = format!(
+        "{{\n  \"benchmark\": \"single-cell {} {} optimum\",\n  \"replications\": {reps},\n  \"seed\": {},\n  \"threads\": 1,\n  \"engines\": [\n{}\n  ],\n  \"speedup_batch_over_event\": {speedup:.2}\n}}\n",
+        scenario.name,
+        Theorem::Four.label(),
+        args.seed,
+        engines_json.join(",\n")
+    );
+    if let Err(e) = std::fs::write(&args.bench_out, json) {
+        die(&format!("cannot write {}: {e}", args.bench_out));
+    }
+    eprintln!(
+        "bench: batch is {speedup:.2}x the event engine over {reps} replications; wrote {}",
+        args.bench_out
+    );
+}
+
 fn main() {
     let args = parse_args();
+    if args.command == "bench" {
+        run_bench(&args);
+        return;
+    }
     let sim_with = |reps: u64| {
         Some(SimSettings {
             replications: reps,
@@ -233,6 +364,7 @@ fn main() {
             // single deterministic stream so sharding cannot change output.
             threads_per_cell: 1,
             seed: args.seed,
+            backend: args.engine,
         })
     };
     let default_sim = sim_with(args.reps.unwrap_or(DEFAULT_REPS));

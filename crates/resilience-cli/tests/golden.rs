@@ -1,0 +1,128 @@
+//! Golden-file CLI tests: run the real binary and byte-compare stdout
+//! against checked-in fixtures, so `TableFormat` stability (column layout,
+//! widths, float formatting) and output determinism are enforced by test
+//! instead of convention.
+//!
+//! Fixtures regenerate with:
+//!
+//! ```text
+//! cargo build --release
+//! ./target/release/resilience-cli sweep --reps 40 --threads 2 --engine event \
+//!     > crates/resilience-cli/tests/fixtures/sweep_event.txt
+//! ./target/release/resilience-cli sweep --reps 40 --threads 2 --engine batch \
+//!     > crates/resilience-cli/tests/fixtures/sweep_batch.txt
+//! ./target/release/resilience-cli grid --grid-size 2 --threads 2 \
+//!     > crates/resilience-cli/tests/fixtures/grid_analytic.txt
+//! ```
+//!
+//! Every command pins its seed-affecting flags explicitly (default seed,
+//! `--threads 2` stream partition), so the bytes are machine-independent.
+
+use std::process::Command;
+
+fn run(args: &[&str]) -> Vec<u8> {
+    let out = Command::new(env!("CARGO_BIN_EXE_resilience-cli"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "exit {:?}, stderr: {}",
+        out.status,
+        String::from_utf8_lossy(&out.stderr)
+    );
+    out.stdout
+}
+
+fn assert_matches_fixture(args: &[&str], fixture: &str) {
+    let got = run(args);
+    let want = std::fs::read(format!(
+        "{}/tests/fixtures/{fixture}",
+        env!("CARGO_MANIFEST_DIR")
+    ))
+    .unwrap_or_else(|e| panic!("fixture {fixture} unreadable: {e}"));
+    if got != want {
+        // Byte equality failed; diff as text for a readable message.
+        assert_eq!(
+            String::from_utf8_lossy(&got),
+            String::from_utf8_lossy(&want),
+            "stdout diverged from fixture {fixture}"
+        );
+        panic!("stdout differs from fixture {fixture} in non-UTF8 bytes");
+    }
+}
+
+#[test]
+fn sweep_with_event_engine_matches_fixture() {
+    assert_matches_fixture(
+        &[
+            "sweep",
+            "--reps",
+            "40",
+            "--threads",
+            "2",
+            "--engine",
+            "event",
+        ],
+        "sweep_event.txt",
+    );
+}
+
+#[test]
+fn sweep_with_batch_engine_matches_fixture() {
+    assert_matches_fixture(
+        &[
+            "sweep",
+            "--reps",
+            "40",
+            "--threads",
+            "2",
+            "--engine",
+            "batch",
+        ],
+        "sweep_batch.txt",
+    );
+}
+
+#[test]
+fn analytic_grid_matches_fixture() {
+    assert_matches_fixture(
+        &["grid", "--grid-size", "2", "--threads", "2"],
+        "grid_analytic.txt",
+    );
+}
+
+#[test]
+fn engine_flag_rejects_unknown_backends() {
+    let out = Command::new(env!("CARGO_BIN_EXE_resilience-cli"))
+        .args(["sweep", "--engine", "warp"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--engine"));
+}
+
+#[test]
+fn auto_and_event_engines_agree_at_small_rep_counts() {
+    // Below the auto threshold the auto engine must resolve to event and
+    // print the exact same bytes.
+    let auto = run(&[
+        "sweep",
+        "--reps",
+        "40",
+        "--threads",
+        "2",
+        "--engine",
+        "auto",
+    ]);
+    let event = run(&[
+        "sweep",
+        "--reps",
+        "40",
+        "--threads",
+        "2",
+        "--engine",
+        "event",
+    ]);
+    assert_eq!(auto, event);
+}

@@ -17,6 +17,14 @@ pub enum VerifyKind {
     Guaranteed,
 }
 
+impl VerifyKind {
+    /// Whether this verification detects existing corruption with
+    /// certainty (true exactly for [`VerifyKind::Guaranteed`]).
+    pub fn guarantees(self) -> bool {
+        matches!(self, VerifyKind::Guaranteed)
+    }
+}
+
 /// One compiled chunk: `work` seconds of computation followed by an optional
 /// verification.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -40,6 +48,16 @@ pub struct CompiledPattern {
     pub total_work: f64,
     /// Whether the pattern ends with a guaranteed verification.
     pub verified: bool,
+}
+
+impl CompiledPattern {
+    /// Number of fallible activities one error-free execution runs through:
+    /// every chunk's computation, every verification, and the trailing
+    /// checkpoint. Simulation backends use it to size per-pattern programs
+    /// and buffers.
+    pub fn activity_count(&self) -> usize {
+        self.chunks.len() + self.chunks.iter().filter(|c| c.verify.is_some()).count() + 1
+    }
 }
 
 /// A resilience pattern over `work` seconds of computation.
@@ -392,6 +410,25 @@ mod tests {
             chunks: vec![0.5, 0.5],
         };
         assert_eq!(partial.partials_per_segment(), 1);
+    }
+
+    #[test]
+    fn activity_count_covers_chunks_verifs_and_checkpoint() {
+        // Checkpoint-only: 1 work + 0 verifs + 1 checkpoint.
+        assert_eq!(
+            Pattern::Checkpoint { work: 1.0 }.compile().activity_count(),
+            2
+        );
+        // Combined 3×3: 9 work + 9 verifs + 1 checkpoint.
+        let c = Pattern::Combined {
+            work: 120.0,
+            segments: 3,
+            chunks: vec![0.5, 0.3, 0.2],
+        }
+        .compile();
+        assert_eq!(c.activity_count(), 19);
+        assert!(VerifyKind::Guaranteed.guarantees());
+        assert!(!VerifyKind::Partial.guarantees());
     }
 
     #[test]

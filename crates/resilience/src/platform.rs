@@ -7,6 +7,7 @@
 //! checkpoint C, recovery R, guaranteed verification V*, and partial
 //! verifications with cost v and recall r.
 
+use crate::pattern::VerifyKind;
 use stats::rates::platform_rate;
 
 /// Error-rate description of a platform. Rates are per second, and both
@@ -112,6 +113,15 @@ impl CostModel {
         }
     }
 
+    /// Cost of one verification of the given kind (`v` for partial, `V*`
+    /// for guaranteed) — the lookup every simulation backend shares.
+    pub fn verify_cost(&self, kind: VerifyKind) -> f64 {
+        match kind {
+            VerifyKind::Partial => self.partial_verif,
+            VerifyKind::Guaranteed => self.guaranteed_verif,
+        }
+    }
+
     /// The paper's accuracy-to-cost advantage of partial verifications:
     /// partial verifications can beat guaranteed ones only when
     /// `V* > v (2 − r) / r`, i.e. when this quantity is positive.
@@ -153,6 +163,13 @@ mod tests {
         assert!(good.partial_verif_gain() > 0.0);
         let bad = CostModel::new(300.0, 300.0, 25.0, 20.0, 0.8);
         assert!(bad.partial_verif_gain() < 0.0);
+    }
+
+    #[test]
+    fn verify_cost_selects_by_kind() {
+        let c = CostModel::new(300.0, 300.0, 100.0, 20.0, 0.8);
+        assert_eq!(c.verify_cost(VerifyKind::Guaranteed), 100.0);
+        assert_eq!(c.verify_cost(VerifyKind::Partial), 20.0);
     }
 
     #[test]

@@ -1,0 +1,476 @@
+//! Batched structure-of-arrays backend: a bank of replication lanes advanced
+//! in lockstep over flat countdown/phase/corruption vectors.
+//!
+//! Three ideas make this backend fast while sampling exactly the same
+//! distributions as the event backend:
+//!
+//! 1. **Persistent arrival countdowns.** Error arrivals are memoryless, so
+//!    resampling a fresh exponential per activity (what the event backend
+//!    does) is distributionally identical to sampling one arrival time and
+//!    carrying the remaining countdown across activities, attempts, and
+//!    even replications. Each lane keeps two countdowns — fail-stop
+//!    (decremented by every exposed second) and silent (decremented by
+//!    completed, still-uncorrupted work seconds) — and touches its RNG only
+//!    when an arrival actually fires or a corrupted lane reaches a partial
+//!    verification. Per-replication RNG cost collapses from two `ln` calls
+//!    per activity to roughly one per *error event*.
+//! 2. **Whole-attempt fast path.** At an attempt boundary, if both
+//!    countdowns clear the attempt (`fail ≥ total duration`, `silent ≥
+//!    total work`), the entire error-free walk is deterministic: commit in
+//!    one step — two compares, two subtractions, one emit. In the paper's
+//!    first-order regime (`λ·W ≪ 1`) this path takes the overwhelming
+//!    majority of attempts.
+//! 3. **Structure-of-arrays lockstep.** Lane state lives in flat parallel
+//!    vectors, stepped in lane order each round. Lanes that miss the fast
+//!    path walk their precompiled activity program one activity per round
+//!    until they commit or roll back. Each lane owns an independent RNG
+//!    stream split off the caller's stream in lane order, so lane count
+//!    changes partitioning but never any lane's own draw sequence.
+//!
+//! Emission happens the moment a lane commits, in round-then-lane order — a
+//! pure function of the stream state, as [`Engine`] requires.
+
+use super::{assert_committable, Engine, Execution};
+use crate::rng::Rng;
+use resilience::pattern::{CompiledPattern, VerifyKind};
+use resilience::platform::{CostModel, Platform};
+
+/// Recall value that makes the detection check `corrupted && u < recall`
+/// skip the draw entirely: `recall > 1` short-circuits as "always detects"
+/// before the RNG is consulted.
+const ALWAYS_DETECTS: f64 = 2.0;
+
+/// What a lane does when its current activity completes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Kind {
+    /// Computation: the only activity that exposes state to silent errors.
+    Work,
+    /// Verification; a corrupted lane rolls back when the detection draw
+    /// falls below `recall` ([`ALWAYS_DETECTS`] for guaranteed kinds).
+    Verify { recall: f64 },
+    /// Trailing checkpoint: commits the replication.
+    Checkpoint,
+    /// Recovery after any rollback; completion restarts the attempt.
+    Recovery,
+}
+
+/// One precompiled activity.
+#[derive(Debug, Clone, Copy)]
+struct Act {
+    duration: f64,
+    kind: Kind,
+}
+
+/// A compiled pattern lowered to the lane program: activities `0..` in
+/// execution order, checkpoint second-to-last, recovery last.
+#[derive(Debug)]
+struct Program {
+    acts: Vec<Act>,
+    /// Index lanes jump to on any rollback (the recovery activity).
+    recovery: u32,
+    /// Sum of all activity durations of one error-free attempt (work,
+    /// verifications, checkpoint — not recovery).
+    total_duration: f64,
+    /// Total computation seconds per attempt (silent-error exposure).
+    total_work: f64,
+    lambda_fail: f64,
+    lambda_silent: f64,
+}
+
+impl Program {
+    fn compile(pattern: &CompiledPattern, platform: &Platform, costs: &CostModel) -> Self {
+        let mut acts = Vec::with_capacity(pattern.activity_count() + 1);
+        for chunk in &pattern.chunks {
+            acts.push(Act {
+                duration: chunk.work,
+                kind: Kind::Work,
+            });
+            if let Some(kind) = chunk.verify {
+                let recall = match kind {
+                    VerifyKind::Guaranteed => ALWAYS_DETECTS,
+                    VerifyKind::Partial => costs.recall,
+                };
+                acts.push(Act {
+                    duration: costs.verify_cost(kind),
+                    kind: Kind::Verify { recall },
+                });
+            }
+        }
+        acts.push(Act {
+            duration: costs.checkpoint,
+            kind: Kind::Checkpoint,
+        });
+        let recovery = acts.len() as u32;
+        let total_duration: f64 = acts.iter().map(|a| a.duration).sum();
+        acts.push(Act {
+            duration: costs.recovery,
+            kind: Kind::Recovery,
+        });
+        Self {
+            acts,
+            recovery,
+            total_duration,
+            total_work: pattern.total_work,
+            lambda_fail: platform.lambda_fail,
+            lambda_silent: platform.lambda_silent,
+        }
+    }
+}
+
+/// Per-lane mutable state, structure-of-arrays.
+struct Lanes {
+    /// Exposed seconds until the next fail-stop arrival.
+    fail_cd: Vec<f64>,
+    /// Uncorrupted work seconds until the next silent arrival.
+    silent_cd: Vec<f64>,
+    /// Program counter: index into `Program::acts`.
+    pos: Vec<u32>,
+    /// Accumulated wall-clock time of the current replication.
+    time: Vec<f64>,
+    corrupted: Vec<bool>,
+    fail_stop: Vec<u64>,
+    silent: Vec<u64>,
+    detections: Vec<u64>,
+    /// Replications this lane still has to commit (including the one in
+    /// flight); 0 = lane idle.
+    remaining: Vec<u64>,
+    /// One independent stream per lane, consulted only on error events and
+    /// corrupted partial verifications.
+    rng: Vec<Rng>,
+}
+
+impl Lanes {
+    fn new(quotas: Vec<u64>, parent: &mut Rng, prog: &Program) -> Self {
+        let n = quotas.len();
+        let mut rng: Vec<Rng> = (0..n).map(|_| parent.split()).collect();
+        // Initial arrivals, one pair per lane in lane order.
+        let fail_cd = rng
+            .iter_mut()
+            .map(|r| r.exponential(prog.lambda_fail))
+            .collect();
+        let silent_cd = rng
+            .iter_mut()
+            .map(|r| r.exponential(prog.lambda_silent))
+            .collect();
+        Self {
+            fail_cd,
+            silent_cd,
+            pos: vec![0; n],
+            time: vec![0.0; n],
+            corrupted: vec![false; n],
+            fail_stop: vec![0; n],
+            silent: vec![0; n],
+            detections: vec![0; n],
+            remaining: quotas,
+            rng,
+        }
+    }
+}
+
+/// The batched structure-of-arrays backend.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchEngine {
+    /// Number of lockstep lanes per stream. More lanes widen the fast-path
+    /// sweep but idle longer at the tail when the stream's replication
+    /// count is small.
+    pub lanes: usize,
+}
+
+impl Default for BatchEngine {
+    fn default() -> Self {
+        // 128 lanes ≈ 12 KiB of hot state: wide enough to keep the sweep
+        // loops busy, small enough to stay resident in L1.
+        Self { lanes: 128 }
+    }
+}
+
+impl Engine for BatchEngine {
+    fn execute(
+        &self,
+        rng: &mut Rng,
+        pattern: &CompiledPattern,
+        platform: &Platform,
+        costs: &CostModel,
+    ) -> Execution {
+        let mut only = Execution::default();
+        self.execute_stream(rng, 1, pattern, platform, costs, &mut |e| only = e);
+        only
+    }
+
+    fn execute_stream(
+        &self,
+        rng: &mut Rng,
+        replications: u64,
+        pattern: &CompiledPattern,
+        platform: &Platform,
+        costs: &CostModel,
+        emit: &mut dyn FnMut(Execution),
+    ) {
+        assert_committable(pattern, platform);
+        if replications == 0 {
+            return;
+        }
+        let prog = Program::compile(pattern, platform, costs);
+        let lanes = self
+            .lanes
+            .clamp(1, usize::try_from(replications).unwrap_or(usize::MAX));
+
+        // Spread replications over lanes as evenly as possible.
+        let base = replications / lanes as u64;
+        let quotas: Vec<u64> = (0..lanes as u64)
+            .map(|l| base + u64::from(l < replications % lanes as u64))
+            .collect();
+        let mut active = quotas.iter().filter(|&&q| q > 0).count();
+        let mut st = Lanes::new(quotas, rng, &prog);
+
+        while active > 0 {
+            for l in 0..lanes {
+                if st.remaining[l] == 0 {
+                    continue;
+                }
+                // Fast path: at an attempt boundary with both arrivals
+                // beyond the attempt, the error-free walk is deterministic —
+                // commit the whole replication in one step.
+                if st.pos[l] == 0
+                    && !st.corrupted[l]
+                    && st.fail_cd[l] >= prog.total_duration
+                    && st.silent_cd[l] >= prog.total_work
+                {
+                    st.fail_cd[l] -= prog.total_duration;
+                    st.silent_cd[l] -= prog.total_work;
+                    emit(Execution {
+                        time: st.time[l] + prog.total_duration,
+                        fail_stop_events: st.fail_stop[l],
+                        silent_errors: st.silent[l],
+                        silent_detections: st.detections[l],
+                    });
+                    commit(&mut st, l, &mut active);
+                    continue;
+                }
+
+                // Slow path: one activity transition.
+                let act = prog.acts[st.pos[l] as usize];
+                if st.fail_cd[l] < act.duration {
+                    // The arrival lands inside this activity: lose the time
+                    // up to it, pay recovery, restart the attempt.
+                    st.time[l] += st.fail_cd[l];
+                    st.fail_stop[l] += 1;
+                    st.fail_cd[l] = st.rng[l].exponential(prog.lambda_fail);
+                    st.pos[l] = prog.recovery;
+                    continue;
+                }
+                st.fail_cd[l] -= act.duration;
+                st.time[l] += act.duration;
+                match act.kind {
+                    Kind::Work => {
+                        if !st.corrupted[l] {
+                            if st.silent_cd[l] < act.duration {
+                                st.corrupted[l] = true;
+                                st.silent[l] += 1;
+                                st.silent_cd[l] = st.rng[l].exponential(prog.lambda_silent);
+                            } else {
+                                st.silent_cd[l] -= act.duration;
+                            }
+                        }
+                        st.pos[l] += 1;
+                    }
+                    Kind::Verify { recall } => {
+                        if st.corrupted[l]
+                            && (recall >= ALWAYS_DETECTS || st.rng[l].uniform() < recall)
+                        {
+                            st.detections[l] += 1;
+                            st.pos[l] = prog.recovery;
+                        } else {
+                            st.pos[l] += 1;
+                        }
+                    }
+                    Kind::Checkpoint => {
+                        emit(Execution {
+                            time: st.time[l],
+                            fail_stop_events: st.fail_stop[l],
+                            silent_errors: st.silent[l],
+                            silent_detections: st.detections[l],
+                        });
+                        commit(&mut st, l, &mut active);
+                    }
+                    Kind::Recovery => {
+                        st.pos[l] = 0;
+                        st.corrupted[l] = false;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Finishes lane `l`'s replication: decrements its quota and resets the
+/// per-replication state (arrival countdowns persist — the processes are
+/// memoryless and renew across replications).
+fn commit(st: &mut Lanes, l: usize, active: &mut usize) {
+    st.remaining[l] -= 1;
+    if st.remaining[l] == 0 {
+        *active -= 1;
+    }
+    st.pos[l] = 0;
+    st.time[l] = 0.0;
+    st.corrupted[l] = false;
+    st.fail_stop[l] = 0;
+    st.silent[l] = 0;
+    st.detections[l] = 0;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use resilience::pattern::Pattern;
+
+    fn costs() -> CostModel {
+        CostModel::new(300.0, 300.0, 100.0, 20.0, 0.8)
+    }
+
+    fn collect(engine: &BatchEngine, reps: u64, seed: u64) -> Vec<Execution> {
+        let p = Platform::new(9.46e-7, 3.38e-6);
+        let c = costs();
+        let pat = Pattern::GuaranteedSegments {
+            work: 20_000.0,
+            segments: 3,
+        }
+        .compile();
+        let mut out = Vec::new();
+        engine.execute_stream(&mut Rng::new(seed), reps, &pat, &p, &c, &mut |e| {
+            out.push(e)
+        });
+        out
+    }
+
+    #[test]
+    fn no_errors_means_deterministic_time() {
+        let p = Platform::new(1e-30, 1e-30);
+        let c = costs();
+        let pat = Pattern::GuaranteedSegments {
+            work: 3600.0,
+            segments: 3,
+        }
+        .compile();
+        let e = BatchEngine::default().execute(&mut Rng::new(1), &pat, &p, &c);
+        assert_eq!(e.fail_stop_events, 0);
+        assert_eq!(e.silent_errors, 0);
+        assert!((e.time - (3600.0 + 3.0 * 100.0 + 300.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stream_emits_exactly_the_requested_replications() {
+        for reps in [1u64, 7, 127, 128, 129, 1000] {
+            let out = collect(&BatchEngine::default(), reps, 42);
+            assert_eq!(out.len(), reps as usize, "reps {reps}");
+            assert!(out.iter().all(|e| e.time > 0.0));
+        }
+    }
+
+    #[test]
+    fn stream_is_deterministic_for_fixed_seed() {
+        let a = collect(&BatchEngine::default(), 500, 7);
+        let b = collect(&BatchEngine::default(), 500, 7);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn silent_errors_always_caught_before_commit_without_fail_stop() {
+        // λ_f = 0: only detections roll back, so every injected corruption
+        // must be detected before its replication commits.
+        let p = Platform::new(0.0, 5e-4);
+        let c = costs();
+        let pat = Pattern::PartialChunks {
+            work: 3600.0,
+            chunks: resilience::eq18_chunks(4, c.recall),
+        }
+        .compile();
+        let mut injected = 0;
+        let mut detected = 0;
+        BatchEngine::default().execute_stream(
+            &mut Rng::new(3),
+            400,
+            &pat,
+            &p,
+            &c,
+            &mut |e: Execution| {
+                injected += e.silent_errors;
+                detected += e.silent_detections;
+            },
+        );
+        assert!(injected > 0);
+        assert_eq!(detected, injected);
+    }
+
+    #[test]
+    #[should_panic(expected = "unverified pattern")]
+    fn unverified_pattern_rejected_under_silent_errors() {
+        let p = Platform::new(1e-6, 1e-6);
+        let pat = Pattern::Checkpoint { work: 100.0 }.compile();
+        BatchEngine::default().execute(&mut Rng::new(4), &pat, &p, &costs());
+    }
+
+    #[test]
+    fn heavy_fail_stop_rate_forces_rollbacks() {
+        let p = Platform::new(1e-3, 0.0);
+        let c = costs();
+        let pat = Pattern::VerifiedCheckpoint { work: 3600.0 }.compile();
+        let mut fails = 0;
+        BatchEngine { lanes: 8 }.execute_stream(
+            &mut Rng::new(2),
+            32,
+            &pat,
+            &p,
+            &c,
+            &mut |e: Execution| {
+                fails += e.fail_stop_events;
+                assert!(e.time > 3600.0 + 100.0 + 300.0);
+            },
+        );
+        assert!(fails > 0, "λ_f W ≈ 3.6 should almost surely fail");
+    }
+
+    #[test]
+    fn checkpoint_pattern_runs_under_fail_stop_only() {
+        let p = Platform::new(1e-5, 0.0);
+        let pat = Pattern::Checkpoint { work: 10_000.0 }.compile();
+        let e = BatchEngine::default().execute(&mut Rng::new(5), &pat, &p, &costs());
+        assert!(e.time >= 10_000.0 + 300.0);
+        assert_eq!(e.silent_errors, 0);
+    }
+
+    #[test]
+    fn lane_count_does_not_change_the_distribution_only_pairing() {
+        // Different lane counts repartition replications over different
+        // stream splits, so outputs differ — but each is self-deterministic
+        // and both see the same replication count and distribution.
+        let narrow = collect(&BatchEngine { lanes: 4 }, 2000, 9);
+        let wide = collect(&BatchEngine { lanes: 64 }, 2000, 9);
+        assert_eq!(narrow.len(), wide.len());
+        let mean = |v: &[Execution]| v.iter().map(|e| e.time).sum::<f64>() / v.len() as f64;
+        let (a, b) = (mean(&narrow), mean(&wide));
+        assert!((a - b).abs() / a < 0.05, "{a} vs {b}");
+    }
+
+    #[test]
+    fn corrupted_lane_survives_the_fast_path_check() {
+        // Heavy silent rate: most attempts corrupt, forcing the slow path;
+        // detections must still all happen pre-commit.
+        let p = Platform::new(0.0, 1e-3);
+        let c = costs();
+        let pat = Pattern::Combined {
+            work: 3600.0,
+            segments: 2,
+            chunks: vec![0.5, 0.5],
+        }
+        .compile();
+        let mut out = Vec::new();
+        BatchEngine { lanes: 16 }
+            .execute_stream(&mut Rng::new(11), 200, &pat, &p, &c, &mut |e| out.push(e));
+        assert_eq!(out.len(), 200);
+        let injected: u64 = out.iter().map(|e| e.silent_errors).sum();
+        let detected: u64 = out.iter().map(|e| e.silent_detections).sum();
+        assert!(injected > 100, "λ_s W ≈ 3.6 should corrupt most attempts");
+        assert_eq!(detected, injected);
+    }
+}

@@ -16,26 +16,20 @@
 //! All activity durations are deterministic; only error arrivals and partial
 //! verification outcomes are random, both memoryless, so each activity can
 //! sample a fresh exponential countdown.
+//!
+//! This is the reference backend: one replication at a time, draws consumed
+//! in walk order. Its outputs are bit-stable across releases —
+//! `tests/backends.rs` pins them against captured goldens — so the batched
+//! backend always has a trusted baseline to be validated against.
 
+use super::{assert_committable, Engine, Execution};
 use crate::rng::Rng;
-use resilience::pattern::{CompiledPattern, VerifyKind};
+use resilience::pattern::CompiledPattern;
 use resilience::platform::{CostModel, Platform};
 
-/// Outcome counters of one pattern execution (until the trailing checkpoint
-/// commits).
-#[derive(Debug, Clone, Copy, Default, PartialEq)]
-pub struct Execution {
-    /// Wall-clock seconds from pattern start to committed checkpoint.
-    pub time: f64,
-    /// Fail-stop errors suffered.
-    pub fail_stop_events: u64,
-    /// Silent corruption events: error arrivals into still-valid state.
-    /// (Arrivals into already-corrupted state or into work discarded by a
-    /// crash change nothing physically and are not counted.)
-    pub silent_errors: u64,
-    /// Rollbacks triggered by a verification detecting corruption.
-    pub silent_detections: u64,
-}
+/// The discrete-event reference backend.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EventEngine;
 
 /// What ended an activity.
 enum ActivityEnd {
@@ -54,44 +48,72 @@ fn run_activity(rng: &mut Rng, lambda_fail: f64, d: f64) -> ActivityEnd {
     }
 }
 
-/// Executes one pattern instance to successful completion and returns its
-/// timing and event counts.
-///
-/// # Panics
-/// Panics when the pattern lacks a final guaranteed verification while the
-/// platform has silent errors: such a pattern would commit corrupted
-/// checkpoints, which the model (and the engine) excludes.
-pub fn execute_pattern(
-    compiled: &CompiledPattern,
-    platform: &Platform,
-    costs: &CostModel,
-    rng: &mut Rng,
-) -> Execution {
-    assert!(
-        compiled.verified || platform.lambda_silent == 0.0,
-        "unverified pattern under silent errors would commit corrupted state"
-    );
-    let mut out = Execution::default();
+impl Engine for EventEngine {
+    fn execute(
+        &self,
+        rng: &mut Rng,
+        compiled: &CompiledPattern,
+        platform: &Platform,
+        costs: &CostModel,
+    ) -> Execution {
+        assert_committable(compiled, platform);
+        let mut out = Execution::default();
 
-    // Pays recovery, including fail-stop errors that strike mid-recovery.
-    let recover = |out: &mut Execution, rng: &mut Rng| loop {
-        match run_activity(rng, platform.lambda_fail, costs.recovery) {
-            ActivityEnd::Completed => {
-                out.time += costs.recovery;
-                return;
+        // Pays recovery, including fail-stop errors that strike mid-recovery.
+        let recover = |out: &mut Execution, rng: &mut Rng| loop {
+            match run_activity(rng, platform.lambda_fail, costs.recovery) {
+                ActivityEnd::Completed => {
+                    out.time += costs.recovery;
+                    return;
+                }
+                ActivityEnd::FailStop { after } => {
+                    out.time += after;
+                    out.fail_stop_events += 1;
+                }
             }
-            ActivityEnd::FailStop { after } => {
-                out.time += after;
-                out.fail_stop_events += 1;
-            }
-        }
-    };
+        };
 
-    'attempt: loop {
-        let mut corrupted = false;
-        for chunk in &compiled.chunks {
-            // Computation: exposed to both error sources.
-            match run_activity(rng, platform.lambda_fail, chunk.work) {
+        'attempt: loop {
+            let mut corrupted = false;
+            for chunk in &compiled.chunks {
+                // Computation: exposed to both error sources.
+                match run_activity(rng, platform.lambda_fail, chunk.work) {
+                    ActivityEnd::FailStop { after } => {
+                        out.time += after;
+                        out.fail_stop_events += 1;
+                        recover(&mut out, rng);
+                        continue 'attempt;
+                    }
+                    ActivityEnd::Completed => {
+                        out.time += chunk.work;
+                        if !corrupted && rng.exponential(platform.lambda_silent) < chunk.work {
+                            out.silent_errors += 1;
+                            corrupted = true;
+                        }
+                    }
+                }
+                // Verification, if the chunk carries one.
+                if let Some(kind) = chunk.verify {
+                    let cost = costs.verify_cost(kind);
+                    match run_activity(rng, platform.lambda_fail, cost) {
+                        ActivityEnd::FailStop { after } => {
+                            out.time += after;
+                            out.fail_stop_events += 1;
+                            recover(&mut out, rng);
+                            continue 'attempt;
+                        }
+                        ActivityEnd::Completed => out.time += cost,
+                    }
+                    let detects = kind.guarantees() || rng.uniform() < costs.recall;
+                    if corrupted && detects {
+                        out.silent_detections += 1;
+                        recover(&mut out, rng);
+                        continue 'attempt;
+                    }
+                }
+            }
+            // Trailing checkpoint.
+            match run_activity(rng, platform.lambda_fail, costs.checkpoint) {
                 ActivityEnd::FailStop { after } => {
                     out.time += after;
                     out.fail_stop_events += 1;
@@ -99,51 +121,10 @@ pub fn execute_pattern(
                     continue 'attempt;
                 }
                 ActivityEnd::Completed => {
-                    out.time += chunk.work;
-                    if !corrupted && rng.exponential(platform.lambda_silent) < chunk.work {
-                        out.silent_errors += 1;
-                        corrupted = true;
-                    }
+                    out.time += costs.checkpoint;
+                    debug_assert!(!corrupted || !compiled.verified);
+                    return out;
                 }
-            }
-            // Verification, if the chunk carries one.
-            if let Some(kind) = chunk.verify {
-                let cost = match kind {
-                    VerifyKind::Partial => costs.partial_verif,
-                    VerifyKind::Guaranteed => costs.guaranteed_verif,
-                };
-                match run_activity(rng, platform.lambda_fail, cost) {
-                    ActivityEnd::FailStop { after } => {
-                        out.time += after;
-                        out.fail_stop_events += 1;
-                        recover(&mut out, rng);
-                        continue 'attempt;
-                    }
-                    ActivityEnd::Completed => out.time += cost,
-                }
-                let detects = match kind {
-                    VerifyKind::Guaranteed => true,
-                    VerifyKind::Partial => rng.uniform() < costs.recall,
-                };
-                if corrupted && detects {
-                    out.silent_detections += 1;
-                    recover(&mut out, rng);
-                    continue 'attempt;
-                }
-            }
-        }
-        // Trailing checkpoint.
-        match run_activity(rng, platform.lambda_fail, costs.checkpoint) {
-            ActivityEnd::FailStop { after } => {
-                out.time += after;
-                out.fail_stop_events += 1;
-                recover(&mut out, rng);
-                continue 'attempt;
-            }
-            ActivityEnd::Completed => {
-                out.time += costs.checkpoint;
-                debug_assert!(!corrupted || !compiled.verified);
-                return out;
             }
         }
     }
@@ -151,8 +132,10 @@ pub fn execute_pattern(
 
 #[cfg(test)]
 mod tests {
-    use super::*;
+    use super::super::execute_pattern;
+    use crate::rng::Rng;
     use resilience::pattern::Pattern;
+    use resilience::platform::{CostModel, Platform};
 
     fn costs() -> CostModel {
         CostModel::new(300.0, 300.0, 100.0, 20.0, 0.8)

@@ -1,0 +1,200 @@
+//! Simulation engines: swappable backends executing one compiled resilience
+//! pattern under exponential fail-stop and silent-error injection.
+//!
+//! The [`Engine`] trait is the seam: [`event`] walks one replication at a
+//! time through an explicit discrete-event loop (the reference backend,
+//! bit-stable since the first release and pinned by golden tests), while
+//! [`batch`] advances a whole bank of replications in lockstep over
+//! structure-of-arrays state so the hot loop autovectorizes. Both backends
+//! sample the same distributions; `tests/backends.rs` pins their statistical
+//! agreement at fixed seeds.
+//!
+//! [`Backend`] is the user-facing selector carried by `RunConfig`: `Event`,
+//! `Batch`, or `Auto` (picks by replication count — batched execution
+//! amortizes only when a stream runs many replications).
+
+mod batch;
+mod event;
+
+pub use batch::BatchEngine;
+pub use event::EventEngine;
+
+use crate::rng::Rng;
+use resilience::pattern::CompiledPattern;
+use resilience::platform::{CostModel, Platform};
+
+/// Outcome counters of one pattern execution (until the trailing checkpoint
+/// commits).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Execution {
+    /// Wall-clock seconds from pattern start to committed checkpoint.
+    pub time: f64,
+    /// Fail-stop errors suffered.
+    pub fail_stop_events: u64,
+    /// Silent corruption events: error arrivals into still-valid state.
+    /// (Arrivals into already-corrupted state or into work discarded by a
+    /// crash change nothing physically and are not counted.)
+    pub silent_errors: u64,
+    /// Rollbacks triggered by a verification detecting corruption.
+    pub silent_detections: u64,
+}
+
+/// A simulation backend: executes compiled patterns to completion under a
+/// platform's error rates and a cost model.
+///
+/// Implementations must be pure up to the RNG: the same stream state and
+/// inputs must reproduce the same outputs on any machine. Different
+/// backends draw from the stream in different orders, so cross-backend
+/// agreement is statistical (same distributions), not bitwise.
+pub trait Engine: Sync {
+    /// Executes one pattern instance to successful completion.
+    ///
+    /// # Panics
+    /// Panics when the pattern lacks a final guaranteed verification while
+    /// the platform has silent errors: such a pattern would commit corrupted
+    /// checkpoints, which the model (and every engine) excludes.
+    fn execute(
+        &self,
+        rng: &mut Rng,
+        pattern: &CompiledPattern,
+        platform: &Platform,
+        costs: &CostModel,
+    ) -> Execution;
+
+    /// Executes `replications` independent pattern instances against one
+    /// stream RNG, emitting each outcome in a deterministic order.
+    ///
+    /// The default loops over [`execute`](Engine::execute); batched backends
+    /// override it to run many replications in lockstep. Emission order is
+    /// backend-defined but must be a pure function of the stream state, so
+    /// order-sensitive accumulation downstream stays reproducible.
+    fn execute_stream(
+        &self,
+        rng: &mut Rng,
+        replications: u64,
+        pattern: &CompiledPattern,
+        platform: &Platform,
+        costs: &CostModel,
+        emit: &mut dyn FnMut(Execution),
+    ) {
+        for _ in 0..replications {
+            emit(self.execute(rng, pattern, platform, costs));
+        }
+    }
+}
+
+/// Rejects patterns that would commit corrupted checkpoints; every backend
+/// enforces this before touching the RNG.
+pub(crate) fn assert_committable(pattern: &CompiledPattern, platform: &Platform) {
+    assert!(
+        pattern.verified || platform.lambda_silent == 0.0,
+        "unverified pattern under silent errors would commit corrupted state"
+    );
+}
+
+/// User-facing backend selector, carried by `RunConfig` and the CLI's
+/// `--engine` flag.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum Backend {
+    /// Discrete-event reference backend: one replication at a time,
+    /// bit-stable across releases (golden-pinned).
+    #[default]
+    Event,
+    /// Structure-of-arrays backend: lanes of replications advanced in
+    /// lockstep; statistically equivalent to `Event`, much faster on large
+    /// replication counts.
+    Batch,
+    /// Picks per run: `Batch` at or above
+    /// [`AUTO_BATCH_THRESHOLD`](Backend::AUTO_BATCH_THRESHOLD)
+    /// replications, `Event` below.
+    Auto,
+}
+
+impl Backend {
+    /// Replication count at which [`Backend::Auto`] switches to the batched
+    /// backend. Below it, a stream runs too few replications to amortize
+    /// lane setup and tail idling.
+    pub const AUTO_BATCH_THRESHOLD: u64 = 20_000;
+
+    /// Resolves `Auto` against a replication count; `Event` and `Batch`
+    /// return themselves.
+    pub fn resolve(self, replications: u64) -> Backend {
+        match self {
+            Backend::Auto if replications >= Self::AUTO_BATCH_THRESHOLD => Backend::Batch,
+            Backend::Auto => Backend::Event,
+            fixed => fixed,
+        }
+    }
+
+    /// Instantiates the engine for a run of `replications`, resolving
+    /// `Auto` first.
+    pub fn engine(self, replications: u64) -> Box<dyn Engine> {
+        match self.resolve(replications) {
+            Backend::Event => Box::new(EventEngine),
+            Backend::Batch => Box::new(BatchEngine::default()),
+            Backend::Auto => unreachable!("resolve() never returns Auto"),
+        }
+    }
+
+    /// Parses a CLI spelling (`event`, `batch`, `auto`).
+    pub fn parse(s: &str) -> Option<Backend> {
+        match s {
+            "event" => Some(Backend::Event),
+            "batch" => Some(Backend::Batch),
+            "auto" => Some(Backend::Auto),
+            _ => None,
+        }
+    }
+
+    /// Stable label, the inverse of [`parse`](Backend::parse).
+    pub fn label(self) -> &'static str {
+        match self {
+            Backend::Event => "event",
+            Backend::Batch => "batch",
+            Backend::Auto => "auto",
+        }
+    }
+}
+
+/// Executes one pattern instance on the reference event backend.
+///
+/// Kept as a free function for source compatibility with pre-`Engine`
+/// callers; equivalent to `EventEngine.execute(rng, compiled, platform,
+/// costs)`.
+pub fn execute_pattern(
+    compiled: &CompiledPattern,
+    platform: &Platform,
+    costs: &CostModel,
+    rng: &mut Rng,
+) -> Execution {
+    EventEngine.execute(rng, compiled, platform, costs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn auto_resolves_by_replication_count() {
+        assert_eq!(Backend::Auto.resolve(1), Backend::Event);
+        assert_eq!(
+            Backend::Auto.resolve(Backend::AUTO_BATCH_THRESHOLD - 1),
+            Backend::Event
+        );
+        assert_eq!(
+            Backend::Auto.resolve(Backend::AUTO_BATCH_THRESHOLD),
+            Backend::Batch
+        );
+        assert_eq!(Backend::Event.resolve(u64::MAX), Backend::Event);
+        assert_eq!(Backend::Batch.resolve(0), Backend::Batch);
+    }
+
+    #[test]
+    fn parse_and_label_round_trip() {
+        for b in [Backend::Event, Backend::Batch, Backend::Auto] {
+            assert_eq!(Backend::parse(b.label()), Some(b));
+        }
+        assert_eq!(Backend::parse("vectorized"), None);
+        assert_eq!(Backend::default(), Backend::Event);
+    }
+}

@@ -18,6 +18,7 @@
 //! fixed seed — `tests/executor.rs` asserts this cell-for-cell over the
 //! 1,000-cell canonical grid.
 
+use crate::engine::Backend;
 use crate::runner::{run_replications, RunConfig, SimReport};
 use resilience::cache::OptimumCache;
 use resilience::optimal::PatternOptimum;
@@ -39,6 +40,10 @@ pub struct SimSettings {
     /// Base seed; each cell simulates with [`cell_seed`]`(seed, index)`, so
     /// results do not depend on worker assignment.
     pub seed: u64,
+    /// Simulation backend applied to every cell ([`Backend::Auto`] resolves
+    /// against the per-cell replication count, so all cells of a sweep
+    /// resolve alike).
+    pub backend: Backend,
 }
 
 /// One finished cell: the memoized optimum plus the optional simulation
@@ -179,6 +184,8 @@ impl SweepExecutor {
                     replications: s.replications,
                     threads: s.threads_per_cell,
                     seed: cell_seed(s.seed, cell.index as u64),
+                    backend: s.backend,
+                    time_hist: None,
                 },
             )
         });
@@ -243,6 +250,7 @@ mod tests {
             replications: 40,
             threads_per_cell: 1,
             seed: 7,
+            backend: Backend::Event,
         });
         let a = SweepExecutor::new(6).run(&spec, sim);
         let b = SweepExecutor::new(6).run(&spec, sim);
@@ -250,5 +258,23 @@ mod tests {
         assert!(a
             .iter()
             .all(|r| r.report.as_ref().unwrap().overhead.count == 40));
+    }
+
+    #[test]
+    fn batch_backend_shards_reproducibly_too() {
+        let spec = small_spec();
+        let sim = Some(SimSettings {
+            replications: 50,
+            threads_per_cell: 1,
+            seed: 3,
+            backend: Backend::Batch,
+        });
+        let exec = SweepExecutor::new(5);
+        let sharded = exec.run(&spec, sim);
+        let serial = exec.run_serial(&spec, sim);
+        assert_eq!(sharded, serial, "batch cells must not depend on sharding");
+        assert!(sharded
+            .iter()
+            .all(|r| r.report.as_ref().unwrap().overhead.count == 50));
     }
 }

@@ -2,11 +2,13 @@
 //!
 //! * [`rng`] — self-contained xoshiro256++ generator with exponential
 //!   sampling (no external dependencies, reproducible streams);
-//! * [`engine`] — discrete-event execution of one compiled pattern under
-//!   exponential fail-stop and silent-error arrivals, with rollback,
-//!   recovery and re-execution;
+//! * [`engine`] — swappable simulation backends behind the [`Engine`]
+//!   trait: the discrete-event reference ([`EventEngine`], bit-stable and
+//!   golden-pinned) and the batched structure-of-arrays [`BatchEngine`],
+//!   selected through [`Backend`] (`event`/`batch`/`auto`);
 //! * [`runner`] — multi-threaded replication runner merging per-thread
-//!   [`stats::OnlineStats`] into [`stats::Summary`] confidence intervals;
+//!   [`stats::OnlineStats`] into [`stats::Summary`] confidence intervals,
+//!   with an optional completion-time [`stats::Histogram`];
 //! * [`executor`] — sharded sweep executor dispatching `SweepSpec` cells
 //!   over a work-stealing pool, memoizing optima through the shared
 //!   `OptimumCache` and streaming results in deterministic cell order.
@@ -15,14 +17,16 @@
 //! theorem's optimal pattern, the simulated mean overhead must fall within
 //! its own 95% confidence interval of the first-order prediction;
 //! `tests/executor.rs` pins sharded sweeps byte-identical to the serial
-//! loop and asserts the optimum cache collapses repeated cells.
+//! loop and asserts the optimum cache collapses repeated cells;
+//! `tests/backends.rs` pins the event backend to captured goldens and the
+//! two backends to each other within overlapping 99% confidence intervals.
 
 pub mod engine;
 pub mod executor;
 pub mod rng;
 pub mod runner;
 
-pub use engine::{execute_pattern, Execution};
+pub use engine::{execute_pattern, Backend, BatchEngine, Engine, EventEngine, Execution};
 pub use executor::{cell_seed, CellResult, SimSettings, SweepExecutor};
 pub use rng::Rng;
-pub use runner::{run_replications, thread_cap, RunConfig, SimReport};
+pub use runner::{run_replications, thread_cap, HistogramSpec, RunConfig, SimReport};

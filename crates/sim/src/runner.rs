@@ -2,13 +2,20 @@
 //! merges the per-thread [`OnlineStats`] accumulators (no synchronization on
 //! the hot path) and emits [`Summary`] confidence intervals — the runner the
 //! `stats` crate's accumulators were designed for.
+//!
+//! The runner is backend-agnostic: [`RunConfig::backend`] picks the
+//! simulation [`Engine`] (event, batch, or auto by replication count), and
+//! every stream hands its replications to that engine in one
+//! [`Engine::execute_stream`] call. Stream partitioning, seeding and merge
+//! order are identical across backends, so switching backends changes only
+//! which engine walks the pattern — not how results are combined.
 
-use crate::engine::execute_pattern;
+use crate::engine::{Backend, Engine, Execution};
 use crate::rng::Rng;
 use resilience::pattern::Pattern;
 use resilience::platform::{CostModel, Platform};
 use stats::rates::{per_day, per_hour};
-use stats::{OnlineStats, Summary};
+use stats::{Histogram, OnlineStats, Summary};
 
 /// Upper bound on spawned OS worker threads: a generous multiple of the
 /// machine's parallelism (oversubscription beyond this only adds scheduler
@@ -22,8 +29,28 @@ pub fn thread_cap() -> usize {
         .unwrap_or(8)
 }
 
+/// Shape of an optional completion-time histogram: `bins` equal-width bins
+/// over `[lo, hi]` seconds (out-of-range completions land in the
+/// histogram's under/overflow counters, so no observation is lost).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HistogramSpec {
+    /// Lower edge, seconds.
+    pub lo: f64,
+    /// Upper edge (inclusive), seconds.
+    pub hi: f64,
+    /// Number of bins.
+    pub bins: usize,
+}
+
+impl HistogramSpec {
+    /// Instantiates the empty histogram this spec describes.
+    pub fn build(&self) -> Histogram {
+        Histogram::new(self.lo, self.hi, self.bins)
+    }
+}
+
 /// Replication-run configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RunConfig {
     /// Number of independent pattern executions.
     pub replications: u64,
@@ -34,9 +61,16 @@ pub struct RunConfig {
     /// machine-independent.
     pub threads: usize,
     /// Base seed; streams are split deterministically from it, so a fixed
-    /// `(seed, threads, replications)` triple reproduces exactly on any
-    /// machine.
+    /// `(seed, threads, replications, backend)` tuple reproduces exactly on
+    /// any machine.
     pub seed: u64,
+    /// Simulation engine backend ([`Backend::Auto`] resolves against
+    /// `replications`). Defaults to [`Backend::Event`], the bit-stable
+    /// reference.
+    pub backend: Backend,
+    /// When set, the report carries a completion-time histogram of this
+    /// shape alongside the moment summaries.
+    pub time_hist: Option<HistogramSpec>,
 }
 
 impl Default for RunConfig {
@@ -45,6 +79,8 @@ impl Default for RunConfig {
             replications: 10_000,
             threads: 4,
             seed: 0x5eed_cafe,
+            backend: Backend::Event,
+            time_hist: None,
         }
     }
 }
@@ -66,6 +102,9 @@ pub struct SimReport {
     pub total_time: f64,
     /// Replications actually executed.
     pub replications: u64,
+    /// Completion-time histogram, present when [`RunConfig::time_hist`] was
+    /// set (empty but well-formed for zero-replication runs).
+    pub time_histogram: Option<Histogram>,
 }
 
 impl SimReport {
@@ -85,7 +124,7 @@ impl SimReport {
 }
 
 /// Per-thread accumulator, merged after the join.
-#[derive(Debug, Default, Clone, Copy)]
+#[derive(Debug, Default, Clone)]
 struct ThreadAcc {
     overhead: OnlineStats,
     time: OnlineStats,
@@ -93,6 +132,30 @@ struct ThreadAcc {
     silent: u64,
     detections: u64,
     total_time: f64,
+    hist: Option<Histogram>,
+}
+
+impl ThreadAcc {
+    fn new(hist: Option<HistogramSpec>) -> Self {
+        Self {
+            hist: hist.map(|spec| spec.build()),
+            ..Self::default()
+        }
+    }
+
+    /// Folds one finished replication in; `work` is the pattern's total
+    /// computation time (for the overhead ratio).
+    fn push(&mut self, e: &Execution, work: f64) {
+        self.overhead.push((e.time - work) / work);
+        self.time.push(e.time);
+        self.fail_stop += e.fail_stop_events;
+        self.silent += e.silent_errors;
+        self.detections += e.silent_detections;
+        self.total_time += e.time;
+        if let Some(h) = &mut self.hist {
+            h.record(e.time);
+        }
+    }
 }
 
 /// Runs `cfg.replications` independent executions of `pattern` and merges
@@ -117,8 +180,11 @@ pub fn run_replications(
             silent_detections: 0,
             total_time: 0.0,
             replications: 0,
+            time_histogram: cfg.time_hist.map(|spec| spec.build()),
         };
     }
+    let engine = cfg.backend.engine(cfg.replications);
+    let engine: &dyn Engine = &*engine;
     let work = compiled.total_work;
     // Stream count defines the statistical partition (and hence the exact
     // results); OS threads are a scheduling detail capped separately, so a
@@ -149,16 +215,15 @@ pub fn run_replications(
                             let base = cfg.replications / stream_count as u64;
                             let extra =
                                 u64::from((i as u64) < cfg.replications % stream_count as u64);
-                            let mut acc = ThreadAcc::default();
-                            for _ in 0..base + extra {
-                                let e = execute_pattern(compiled, platform, costs, &mut rng);
-                                acc.overhead.push((e.time - work) / work);
-                                acc.time.push(e.time);
-                                acc.fail_stop += e.fail_stop_events;
-                                acc.silent += e.silent_errors;
-                                acc.detections += e.silent_detections;
-                                acc.total_time += e.time;
-                            }
+                            let mut acc = ThreadAcc::new(cfg.time_hist);
+                            engine.execute_stream(
+                                &mut rng,
+                                base + extra,
+                                compiled,
+                                platform,
+                                costs,
+                                &mut |e| acc.push(&e, work),
+                            );
                             (i, acc)
                         })
                         .collect::<Vec<_>>()
@@ -174,7 +239,7 @@ pub fn run_replications(
     // stream order is the one invariant under the OS-thread cap.
     accs.sort_unstable_by_key(|(i, _)| *i);
 
-    let mut merged = ThreadAcc::default();
+    let mut merged = ThreadAcc::new(cfg.time_hist);
     for (_, acc) in &accs {
         merged.overhead.merge(&acc.overhead);
         merged.time.merge(&acc.time);
@@ -182,6 +247,9 @@ pub fn run_replications(
         merged.silent += acc.silent;
         merged.detections += acc.detections;
         merged.total_time += acc.total_time;
+        if let (Some(into), Some(from)) = (&mut merged.hist, &acc.hist) {
+            into.merge(from);
+        }
     }
     SimReport {
         overhead: Summary::from_stats(&merged.overhead),
@@ -191,12 +259,15 @@ pub fn run_replications(
         silent_detections: merged.detections,
         total_time: merged.total_time,
         replications: cfg.replications,
+        time_histogram: merged.hist,
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    use crate::engine::execute_pattern;
 
     fn setup() -> (Platform, CostModel, Pattern) {
         let p = Platform::new(9.46e-7, 3.38e-6);
@@ -215,6 +286,7 @@ mod tests {
             replications: 500,
             threads: 3,
             seed: 11,
+            ..Default::default()
         };
         let a = run_replications(&pat, &p, &c, &cfg);
         let b = run_replications(&pat, &p, &c, &cfg);
@@ -234,6 +306,7 @@ mod tests {
                 replications: 4000,
                 threads: 1,
                 seed: 7,
+                ..Default::default()
             },
         );
         let four = run_replications(
@@ -244,6 +317,7 @@ mod tests {
                 replications: 4000,
                 threads: 4,
                 seed: 7,
+                ..Default::default()
             },
         );
         assert_eq!(one.replications, four.replications);
@@ -264,6 +338,7 @@ mod tests {
                 replications: 200,
                 threads: 2,
                 seed: 3,
+                ..Default::default()
             },
         );
         assert!(r.total_time > 0.0);
@@ -287,6 +362,7 @@ mod tests {
                 replications: 0,
                 threads: 4,
                 seed: 9,
+                ..Default::default()
             },
         );
         assert_eq!(r.replications, 0);
@@ -315,6 +391,7 @@ mod tests {
                 replications: 50,
                 threads: 1_000_000,
                 seed: 2,
+                ..Default::default()
             },
         );
         assert_eq!(r.overhead.count, 50);
@@ -333,6 +410,7 @@ mod tests {
             replications: 83,
             threads: 8,
             seed: 21,
+            ..Default::default()
         };
         let report = run_replications(&pat, &p, &c, &cfg);
 
@@ -361,6 +439,126 @@ mod tests {
     }
 
     #[test]
+    fn batch_backend_is_deterministic_and_statistically_consistent() {
+        let (p, c, pat) = setup();
+        let batch_cfg = RunConfig {
+            replications: 4000,
+            threads: 4,
+            seed: 13,
+            backend: Backend::Batch,
+            ..Default::default()
+        };
+        let a = run_replications(&pat, &p, &c, &batch_cfg);
+        let b = run_replications(&pat, &p, &c, &batch_cfg);
+        assert_eq!(a, b, "batch backend must reproduce at a fixed seed");
+        assert_eq!(a.overhead.count, 4000);
+
+        let event = run_replications(
+            &pat,
+            &p,
+            &c,
+            &RunConfig {
+                backend: Backend::Event,
+                ..batch_cfg
+            },
+        );
+        let gap = (a.overhead.mean - event.overhead.mean).abs();
+        assert!(
+            gap <= a.overhead.ci95 + event.overhead.ci95,
+            "backends disagree: gap {gap}"
+        );
+    }
+
+    #[test]
+    fn auto_backend_matches_its_resolution() {
+        let (p, c, pat) = setup();
+        // Below the threshold Auto is exactly Event, bit for bit.
+        let cfg = RunConfig {
+            replications: 300,
+            threads: 2,
+            seed: 5,
+            backend: Backend::Auto,
+            ..Default::default()
+        };
+        assert!(cfg.replications < Backend::AUTO_BATCH_THRESHOLD);
+        let auto = run_replications(&pat, &p, &c, &cfg);
+        let event = run_replications(
+            &pat,
+            &p,
+            &c,
+            &RunConfig {
+                backend: Backend::Event,
+                ..cfg
+            },
+        );
+        assert_eq!(auto, event);
+    }
+
+    #[test]
+    fn time_histogram_sees_every_replication() {
+        let (p, c, pat) = setup();
+        for backend in [Backend::Event, Backend::Batch] {
+            let r = run_replications(
+                &pat,
+                &p,
+                &c,
+                &RunConfig {
+                    replications: 400,
+                    threads: 3,
+                    seed: 8,
+                    backend,
+                    time_hist: Some(HistogramSpec {
+                        lo: 0.0,
+                        hi: 1e9,
+                        bins: 32,
+                    }),
+                },
+            );
+            let h = r.time_histogram.expect("histogram was requested");
+            assert_eq!(h.total(), 400);
+            // The range is generous enough that nothing should escape it.
+            assert_eq!(h.underflow() + h.overflow(), 0);
+            // And the histogram is consistent with the moment summary.
+            assert!(r.time.min >= 0.0 && r.time.max <= 1e9);
+        }
+    }
+
+    #[test]
+    fn unrequested_histogram_stays_absent() {
+        let (p, c, pat) = setup();
+        let r = run_replications(
+            &pat,
+            &p,
+            &c,
+            &RunConfig {
+                replications: 10,
+                threads: 2,
+                seed: 4,
+                ..Default::default()
+            },
+        );
+        assert!(r.time_histogram.is_none());
+        // Zero-replication runs still honor the request with an empty one.
+        let empty = run_replications(
+            &pat,
+            &p,
+            &c,
+            &RunConfig {
+                replications: 0,
+                threads: 2,
+                seed: 4,
+                time_hist: Some(HistogramSpec {
+                    lo: 0.0,
+                    hi: 1.0,
+                    bins: 2,
+                }),
+                ..Default::default()
+            },
+        );
+        assert_eq!(empty.time_histogram.expect("requested").total(), 0);
+    }
+
+    #[test]
     fn single_replication_and_more_threads_than_work() {
         let (p, c, pat) = setup();
         let r = run_replications(
@@ -371,6 +569,7 @@ mod tests {
                 replications: 1,
                 threads: 8,
                 seed: 1,
+                ..Default::default()
             },
         );
         assert_eq!(r.overhead.count, 1);

@@ -6,6 +6,7 @@ use resilience::cache::OptimumCache;
 use resilience::sweep::{grid_spec, SweepSpec, Theorem};
 use resilience::{reference_scenarios, Pattern};
 use sim::executor::{CellResult, SimSettings, SweepExecutor};
+use sim::Backend;
 use std::sync::Arc;
 
 /// Renders one cell result exactly the way a table row would: every float
@@ -94,6 +95,7 @@ fn sharded_simulated_sweep_matches_serial_cell_for_cell() {
         replications: 60,
         threads_per_cell: 1,
         seed: 0xc0de,
+        backend: Backend::Event,
     });
     let exec = SweepExecutor::new(7);
     let sharded = exec.run(&spec, sim);

@@ -29,6 +29,7 @@ fn check(name: &str, theorem: &str, opt: &PatternOptimum, p: &Platform, c: &Cost
         replications: 4_000,
         threads: 4,
         seed: 0xb10c_ba5e,
+        ..Default::default()
     };
     let report = run_replications(&opt.pattern, p, c, &cfg);
     let mean = report.overhead.mean;
@@ -84,6 +85,7 @@ fn simulated_overhead_orders_patterns_like_the_theory() {
         replications: 8_000,
         threads: 4,
         seed: 0xfeed,
+        ..Default::default()
     };
     let t1 = run_replications(&theorem1(&p, &c).pattern, &p, &c, &cfg);
     let t4 = run_replications(&theorem4(&p, &c).pattern, &p, &c, &cfg);

@@ -7,8 +7,10 @@
 
 use serde::{Deserialize, Serialize};
 
-/// Histogram with `bins` equal-width bins covering `[lo, hi)`; observations
-/// outside the range are counted in `underflow`/`overflow`.
+/// Histogram with `bins` equal-width bins covering `[lo, hi]` (the upper
+/// edge is inclusive and lands in the top bin, so a sample at the declared
+/// maximum is in range); observations outside the range are counted in
+/// `underflow`/`overflow`.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Histogram {
     lo: f64,
@@ -20,7 +22,7 @@ pub struct Histogram {
 }
 
 impl Histogram {
-    /// Creates a histogram over `[lo, hi)` with `bins` bins.
+    /// Creates a histogram over `[lo, hi]` with `bins` bins.
     ///
     /// # Panics
     /// Panics when `lo >= hi` or `bins == 0`.
@@ -37,12 +39,13 @@ impl Histogram {
         }
     }
 
-    /// Records one observation.
+    /// Records one observation. `lo` and `hi` are both in range; `hi` falls
+    /// in the top bin (NaN never compares in range and counts as overflow).
     pub fn record(&mut self, x: f64) {
         self.total += 1;
         if x < self.lo {
             self.underflow += 1;
-        } else if x >= self.hi {
+        } else if x > self.hi || x.is_nan() {
             self.overflow += 1;
         } else {
             let frac = (x - self.lo) / (self.hi - self.lo);
@@ -66,9 +69,28 @@ impl Histogram {
         self.underflow
     }
 
-    /// Observations at or above the range's upper bound.
+    /// Observations strictly above the range's upper bound.
     pub fn overflow(&self) -> u64 {
         self.overflow
+    }
+
+    /// Merges another histogram recorded over the identical range and bin
+    /// count. Pure count addition, so merge order never matters — parallel
+    /// accumulators can combine in any order without changing the result.
+    ///
+    /// # Panics
+    /// Panics when the ranges or bin counts differ.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert!(
+            self.lo == other.lo && self.hi == other.hi && self.counts.len() == other.counts.len(),
+            "histogram shapes must match to merge"
+        );
+        for (c, o) in self.counts.iter_mut().zip(&other.counts) {
+            *c += o;
+        }
+        self.underflow += other.underflow;
+        self.overflow += other.overflow;
+        self.total += other.total;
     }
 
     /// Fraction of in-range mass in bin `i`.
@@ -108,11 +130,48 @@ mod tests {
     fn out_of_range_goes_to_flows() {
         let mut h = Histogram::new(0.0, 1.0, 4);
         h.record(-0.1);
-        h.record(1.0); // hi is exclusive
+        h.record(1.0 + f64::EPSILON);
         h.record(2.0);
         assert_eq!(h.underflow(), 1);
         assert_eq!(h.overflow(), 2);
         assert_eq!(h.counts().iter().sum::<u64>(), 0);
+    }
+
+    #[test]
+    fn upper_edge_is_inclusive_and_lands_in_top_bin() {
+        let mut h = Histogram::new(0.0, 1.0, 4);
+        h.record(1.0); // exactly hi: top bin, not overflow
+        h.record(0.0); // exactly lo: bottom bin, not underflow
+        h.record(f64::NAN); // never in range
+        assert_eq!(h.overflow(), 1, "only the NaN overflows");
+        assert_eq!(h.underflow(), 0);
+        assert_eq!(h.counts()[3], 1);
+        assert_eq!(h.counts()[0], 1);
+        assert_eq!(h.total(), 3);
+    }
+
+    #[test]
+    fn merge_adds_counts_shape_checked() {
+        let mut a = Histogram::new(0.0, 10.0, 5);
+        let mut b = Histogram::new(0.0, 10.0, 5);
+        a.record(1.0);
+        a.record(-3.0);
+        b.record(1.5);
+        b.record(11.0);
+        b.record(9.0);
+        a.merge(&b);
+        assert_eq!(a.total(), 5);
+        assert_eq!(a.counts()[0], 2);
+        assert_eq!(a.counts()[4], 1);
+        assert_eq!(a.underflow(), 1);
+        assert_eq!(a.overflow(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "shapes must match")]
+    fn merge_rejects_mismatched_shapes() {
+        let mut a = Histogram::new(0.0, 10.0, 5);
+        a.merge(&Histogram::new(0.0, 10.0, 6));
     }
 
     #[test]
