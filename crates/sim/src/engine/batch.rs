@@ -29,93 +29,15 @@
 //!
 //! Emission happens the moment a lane commits, in round-then-lane order — a
 //! pure function of the stream state, as [`Engine`] requires.
+//!
+//! The pattern lowering (activity program + per-attempt totals) is shared
+//! with the SIMD backend — see [`super::program`].
 
+use super::program::{step_lane, LaneState, Program};
 use super::{assert_committable, Engine, Execution};
 use crate::rng::Rng;
-use resilience::pattern::{CompiledPattern, VerifyKind};
+use resilience::pattern::CompiledPattern;
 use resilience::platform::{CostModel, Platform};
-
-/// Recall value that makes the detection check `corrupted && u < recall`
-/// skip the draw entirely: `recall > 1` short-circuits as "always detects"
-/// before the RNG is consulted.
-const ALWAYS_DETECTS: f64 = 2.0;
-
-/// What a lane does when its current activity completes.
-#[derive(Debug, Clone, Copy, PartialEq)]
-enum Kind {
-    /// Computation: the only activity that exposes state to silent errors.
-    Work,
-    /// Verification; a corrupted lane rolls back when the detection draw
-    /// falls below `recall` ([`ALWAYS_DETECTS`] for guaranteed kinds).
-    Verify { recall: f64 },
-    /// Trailing checkpoint: commits the replication.
-    Checkpoint,
-    /// Recovery after any rollback; completion restarts the attempt.
-    Recovery,
-}
-
-/// One precompiled activity.
-#[derive(Debug, Clone, Copy)]
-struct Act {
-    duration: f64,
-    kind: Kind,
-}
-
-/// A compiled pattern lowered to the lane program: activities `0..` in
-/// execution order, checkpoint second-to-last, recovery last.
-#[derive(Debug)]
-struct Program {
-    acts: Vec<Act>,
-    /// Index lanes jump to on any rollback (the recovery activity).
-    recovery: u32,
-    /// Sum of all activity durations of one error-free attempt (work,
-    /// verifications, checkpoint — not recovery).
-    total_duration: f64,
-    /// Total computation seconds per attempt (silent-error exposure).
-    total_work: f64,
-    lambda_fail: f64,
-    lambda_silent: f64,
-}
-
-impl Program {
-    fn compile(pattern: &CompiledPattern, platform: &Platform, costs: &CostModel) -> Self {
-        let mut acts = Vec::with_capacity(pattern.activity_count() + 1);
-        for chunk in &pattern.chunks {
-            acts.push(Act {
-                duration: chunk.work,
-                kind: Kind::Work,
-            });
-            if let Some(kind) = chunk.verify {
-                let recall = match kind {
-                    VerifyKind::Guaranteed => ALWAYS_DETECTS,
-                    VerifyKind::Partial => costs.recall,
-                };
-                acts.push(Act {
-                    duration: costs.verify_cost(kind),
-                    kind: Kind::Verify { recall },
-                });
-            }
-        }
-        acts.push(Act {
-            duration: costs.checkpoint,
-            kind: Kind::Checkpoint,
-        });
-        let recovery = acts.len() as u32;
-        let total_duration: f64 = acts.iter().map(|a| a.duration).sum();
-        acts.push(Act {
-            duration: costs.recovery,
-            kind: Kind::Recovery,
-        });
-        Self {
-            acts,
-            recovery,
-            total_duration,
-            total_work: pattern.total_work,
-            lambda_fail: platform.lambda_fail,
-            lambda_silent: platform.lambda_silent,
-        }
-    }
-}
 
 /// Per-lane mutable state, structure-of-arrays.
 struct Lanes {
@@ -197,14 +119,19 @@ impl Engine for BatchEngine {
         only
     }
 
-    fn execute_stream(
+    /// The native entry point (`execute_stream` expands it through the
+    /// trait default). The batch backend only ever emits groups of one — it
+    /// commits per replication — but the grouped form is the override point,
+    /// keeping the hot loop one dynamic call away from the caller's
+    /// accumulator.
+    fn execute_stream_grouped(
         &self,
         rng: &mut Rng,
         replications: u64,
         pattern: &CompiledPattern,
         platform: &Platform,
         costs: &CostModel,
-        emit: &mut dyn FnMut(Execution),
+        emit: &mut dyn FnMut(Execution, u64),
     ) {
         assert_committable(pattern, platform);
         if replications == 0 {
@@ -238,65 +165,46 @@ impl Engine for BatchEngine {
                 {
                     st.fail_cd[l] -= prog.total_duration;
                     st.silent_cd[l] -= prog.total_work;
-                    emit(Execution {
-                        time: st.time[l] + prog.total_duration,
-                        fail_stop_events: st.fail_stop[l],
-                        silent_errors: st.silent[l],
-                        silent_detections: st.detections[l],
-                    });
+                    emit(
+                        Execution {
+                            time: st.time[l] + prog.total_duration,
+                            fail_stop_events: st.fail_stop[l],
+                            silent_errors: st.silent[l],
+                            silent_detections: st.detections[l],
+                        },
+                        1,
+                    );
                     commit(&mut st, l, &mut active);
                     continue;
                 }
 
-                // Slow path: one activity transition.
-                let act = prog.acts[st.pos[l] as usize];
-                if st.fail_cd[l] < act.duration {
-                    // The arrival lands inside this activity: lose the time
-                    // up to it, pay recovery, restart the attempt.
-                    st.time[l] += st.fail_cd[l];
-                    st.fail_stop[l] += 1;
-                    st.fail_cd[l] = st.rng[l].exponential(prog.lambda_fail);
-                    st.pos[l] = prog.recovery;
-                    continue;
-                }
-                st.fail_cd[l] -= act.duration;
-                st.time[l] += act.duration;
-                match act.kind {
-                    Kind::Work => {
-                        if !st.corrupted[l] {
-                            if st.silent_cd[l] < act.duration {
-                                st.corrupted[l] = true;
-                                st.silent[l] += 1;
-                                st.silent_cd[l] = st.rng[l].exponential(prog.lambda_silent);
-                            } else {
-                                st.silent_cd[l] -= act.duration;
-                            }
-                        }
-                        st.pos[l] += 1;
-                    }
-                    Kind::Verify { recall } => {
-                        if st.corrupted[l]
-                            && (recall >= ALWAYS_DETECTS || st.rng[l].uniform() < recall)
-                        {
-                            st.detections[l] += 1;
-                            st.pos[l] = prog.recovery;
-                        } else {
-                            st.pos[l] += 1;
-                        }
-                    }
-                    Kind::Checkpoint => {
-                        emit(Execution {
+                // Slow path: one activity transition through the shared
+                // stepper (see `program::step_lane`).
+                let committed = step_lane(
+                    &prog,
+                    LaneState {
+                        fail_cd: &mut st.fail_cd[l],
+                        silent_cd: &mut st.silent_cd[l],
+                        time: &mut st.time[l],
+                        pos: &mut st.pos[l],
+                        corrupted: &mut st.corrupted[l],
+                        fail_stop: &mut st.fail_stop[l],
+                        silent: &mut st.silent[l],
+                        detections: &mut st.detections[l],
+                    },
+                    &mut st.rng[l],
+                );
+                if committed {
+                    emit(
+                        Execution {
                             time: st.time[l],
                             fail_stop_events: st.fail_stop[l],
                             silent_errors: st.silent[l],
                             silent_detections: st.detections[l],
-                        });
-                        commit(&mut st, l, &mut active);
-                    }
-                    Kind::Recovery => {
-                        st.pos[l] = 0;
-                        st.corrupted[l] = false;
-                    }
+                        },
+                        1,
+                    );
+                    commit(&mut st, l, &mut active);
                 }
             }
         }

@@ -23,7 +23,6 @@ use crate::runner::{run_replications, RunConfig, SimReport};
 use resilience::cache::OptimumCache;
 use resilience::optimal::PatternOptimum;
 use resilience::sweep::{SweepCell, SweepSpec, Theorem};
-use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc};
 
@@ -41,8 +40,9 @@ pub struct SimSettings {
     /// results do not depend on worker assignment.
     pub seed: u64,
     /// Simulation backend applied to every cell ([`Backend::Auto`] resolves
-    /// against the per-cell replication count, so all cells of a sweep
-    /// resolve alike).
+    /// against the per-cell replication count — and, above the threshold,
+    /// the host's SIMD feature check — so all cells of a sweep resolve
+    /// alike).
     pub backend: Backend,
 }
 
@@ -126,7 +126,7 @@ impl SweepExecutor {
         let cells = spec.cells();
         let workers = self.threads.min(cells.len()).max(1);
         if workers == 1 {
-            for cell in cells {
+            for cell in &cells {
                 emit(self.eval(cell, sim));
             }
             return;
@@ -134,7 +134,11 @@ impl SweepExecutor {
 
         // Shared-queue work stealing: `cursor` is the queue head; an idle
         // worker steals the next cell with one fetch_add. Results flow back
-        // over a channel and a reorder buffer restores cell order.
+        // over a channel; workers borrow cells in place (no per-cell clone —
+        // only the result's name String is ever copied). A reorder buffer
+        // preallocated from the cell count restores cell order with O(1)
+        // slot indexing, so the million-cell path allocates nothing per
+        // cell on the receiving side either.
         let cursor = AtomicUsize::new(0);
         let (tx, rx) = mpsc::channel::<CellResult>();
         std::thread::scope(|scope| {
@@ -145,24 +149,27 @@ impl SweepExecutor {
                 scope.spawn(move || loop {
                     let i = cursor.fetch_add(1, Ordering::Relaxed);
                     let Some(cell) = cells.get(i) else { break };
-                    if tx.send(self.eval(cell.clone(), sim)).is_err() {
+                    if tx.send(self.eval(cell, sim)).is_err() {
                         break;
                     }
                 });
             }
             drop(tx);
 
-            let mut pending: HashMap<usize, CellResult> = HashMap::new();
+            let mut pending: Vec<Option<CellResult>> = Vec::new();
+            pending.resize_with(cells.len(), || None);
             let mut next = 0usize;
             for result in rx {
-                pending.insert(result.index, result);
-                while let Some(r) = pending.remove(&next) {
+                let slot = result.index;
+                pending[slot] = Some(result);
+                while next < pending.len() {
+                    let Some(r) = pending[next].take() else { break };
                     emit(r);
                     next += 1;
                 }
             }
             assert!(
-                pending.is_empty() && next == cells.len(),
+                next == cells.len(),
                 "executor lost cells: emitted {next} of {}",
                 cells.len()
             );
@@ -170,8 +177,9 @@ impl SweepExecutor {
     }
 
     /// Evaluates one cell: memoized optimum, then the optional simulation
-    /// with the cell-derived seed.
-    fn eval(&self, cell: SweepCell, sim: Option<SimSettings>) -> CellResult {
+    /// with the cell-derived seed. Borrows the cell — the only per-cell
+    /// allocation is the result's own name.
+    fn eval(&self, cell: &SweepCell, sim: Option<SimSettings>) -> CellResult {
         let optimum = self
             .cache
             .optimum(&cell.platform, &cell.costs, cell.theorem);
@@ -191,7 +199,7 @@ impl SweepExecutor {
         });
         CellResult {
             index: cell.index,
-            name: cell.name,
+            name: cell.name.clone(),
             theorem: cell.theorem,
             optimum,
             report,
@@ -273,6 +281,24 @@ mod tests {
         let sharded = exec.run(&spec, sim);
         let serial = exec.run_serial(&spec, sim);
         assert_eq!(sharded, serial, "batch cells must not depend on sharding");
+        assert!(sharded
+            .iter()
+            .all(|r| r.report.as_ref().unwrap().overhead.count == 50));
+    }
+
+    #[test]
+    fn simd_backend_shards_reproducibly_too() {
+        let spec = small_spec();
+        let sim = Some(SimSettings {
+            replications: 50,
+            threads_per_cell: 1,
+            seed: 5,
+            backend: Backend::Simd,
+        });
+        let exec = SweepExecutor::new(5);
+        let sharded = exec.run(&spec, sim);
+        let serial = exec.run_serial(&spec, sim);
+        assert_eq!(sharded, serial, "simd cells must not depend on sharding");
         assert!(sharded
             .iter()
             .all(|r| r.report.as_ref().unwrap().overhead.count == 50));

@@ -1,11 +1,15 @@
 //! Monte-Carlo fault-injection simulator for resilience patterns.
 //!
 //! * [`rng`] — self-contained xoshiro256++ generator with exponential
-//!   sampling (no external dependencies, reproducible streams);
+//!   sampling, `jump()`/`long_jump()` stream splitting, and the
+//!   lane-parallel [`LaneRng`] (no external dependencies, reproducible
+//!   streams);
 //! * [`engine`] — swappable simulation backends behind the [`Engine`]
 //!   trait: the discrete-event reference ([`EventEngine`], bit-stable and
-//!   golden-pinned) and the batched structure-of-arrays [`BatchEngine`],
-//!   selected through [`Backend`] (`event`/`batch`/`auto`);
+//!   golden-pinned), the batched structure-of-arrays [`BatchEngine`], and
+//!   the wide-SIMD [`SimdEngine`] (AVX2 fast-path mask with bit-identical
+//!   scalar fallback), selected through [`Backend`]
+//!   (`event`/`batch`/`simd`/`auto`);
 //! * [`runner`] — multi-threaded replication runner merging per-thread
 //!   [`stats::OnlineStats`] into [`stats::Summary`] confidence intervals,
 //!   with an optional completion-time [`stats::Histogram`];
@@ -26,7 +30,9 @@ pub mod executor;
 pub mod rng;
 pub mod runner;
 
-pub use engine::{execute_pattern, Backend, BatchEngine, Engine, EventEngine, Execution};
+pub use engine::{
+    execute_pattern, Backend, BatchEngine, Engine, EventEngine, Execution, SimdEngine, LANE_WIDTH,
+};
 pub use executor::{cell_seed, CellResult, SimSettings, SweepExecutor};
-pub use rng::Rng;
+pub use rng::{exp_inverse_cdf, LaneRng, Rng};
 pub use runner::{run_replications, thread_cap, HistogramSpec, RunConfig, SimReport};

@@ -4,11 +4,62 @@
 //! Vendored rather than pulled from the `rand` crate: the engine needs only
 //! uniform and exponential draws, and a fixed in-tree generator keeps
 //! simulations reproducible across toolchains and offline builds.
+//!
+//! Two stream-splitting mechanisms coexist:
+//!
+//! * [`Rng::split`] reseeds a child through SplitMix64 — cheap, and
+//!   collision-free in practice, but only statistically independent;
+//! * [`Rng::jump`] / [`Rng::long_jump`] advance the generator by exactly
+//!   2¹²⁸ (resp. 2¹⁹²) steps using the xoshiro jump polynomials, so
+//!   jump-spaced streams are **provably disjoint** for up to 2¹²⁸ draws
+//!   each. [`LaneRng`] builds on jumps to run a fixed block of lanes in
+//!   lockstep with structure-of-arrays state, drawing uniforms for every
+//!   lane before the `ln()` pass so the integer stepping autovectorizes.
 
 /// xoshiro256++ generator (Blackman & Vigna), 256-bit state, period 2²⁵⁶−1.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Rng {
     s: [u64; 4],
+}
+
+/// Jump polynomial for [`Rng::jump`]: advances the state by 2¹²⁸ steps
+/// (Blackman & Vigna's published constants for xoshiro256).
+const JUMP: [u64; 4] = [
+    0x180e_c6d3_3cfd_0aba,
+    0xd5a6_1266_f0c9_392c,
+    0xa958_2618_e03f_c9aa,
+    0x39ab_dc45_29b1_661c,
+];
+
+/// Jump polynomial for [`Rng::long_jump`]: advances by 2¹⁹² steps.
+const LONG_JUMP: [u64; 4] = [
+    0x76e1_5d3e_fefd_cbbf,
+    0xc500_4e44_1c52_2fb3,
+    0x7771_0069_854e_e241,
+    0x3910_9bb0_2acb_e635,
+];
+
+/// Inverse-CDF exponential transform: maps a uniform `u ∈ [0, 1)` to an
+/// `Exp(rate)` sample.
+///
+/// Edge cases are pinned down explicitly (`tests/rng_props.rs`):
+///
+/// * `rate` must be positive and finite — debug-asserted; callers that want
+///   "rate 0 never fires" semantics gate before calling (as
+///   [`Rng::exponential`] does).
+/// * `u == 1.0` or `1 − u` subnormal (impossible from this module's 53-bit
+///   uniforms, whose maximum is `1 − 2⁻⁵³`, but reachable with foreign
+///   uniforms) is clamped to `1 − u = f64::MIN_POSITIVE`, capping the
+///   sample at a finite `≈ 708 / rate` instead of returning `+∞` or losing
+///   precision to a subnormal logarithm.
+/// * `u == 0.0` maps to exactly `0.0` (`−ln(1) / rate`).
+pub fn exp_inverse_cdf(u: f64, rate: f64) -> f64 {
+    debug_assert!(
+        rate > 0.0 && rate.is_finite(),
+        "exp_inverse_cdf needs a positive finite rate, got {rate}"
+    );
+    let tail = (1.0 - u).max(f64::MIN_POSITIVE);
+    -tail.ln() / rate
 }
 
 /// One SplitMix64 step; used for seeding and stream splitting.
@@ -57,18 +108,172 @@ impl Rng {
 
     /// Exponential draw with the given `rate` (inverse-CDF method); `+∞`
     /// when the rate is zero or negative, so "no errors of this kind" falls
-    /// out naturally.
+    /// out naturally — and **no draw is consumed** in that case, keeping the
+    /// stream position independent of which error sources are enabled. A NaN
+    /// rate is a caller bug (debug-asserted; falls in the `+∞` branch in
+    /// release, erring on "never fires").
     pub fn exponential(&mut self, rate: f64) -> f64 {
-        if rate <= 0.0 {
+        debug_assert!(!rate.is_nan(), "exponential rate must not be NaN");
+        if rate <= 0.0 || rate.is_nan() {
             return f64::INFINITY;
         }
-        // 1 − u ∈ (0, 1], so ln is finite.
-        -(1.0 - self.uniform()).ln() / rate
+        exp_inverse_cdf(self.uniform(), rate)
     }
 
     /// Derives an independent generator for another thread/stream.
     pub fn split(&mut self) -> Rng {
         Rng::new(self.next_u64())
+    }
+
+    /// Advances this generator by exactly 2¹²⁸ steps. Spacing streams by
+    /// jumps makes them provably disjoint for up to 2¹²⁸ draws each —
+    /// non-overlap by construction, not by statistics.
+    pub fn jump(&mut self) {
+        self.polynomial_jump(&JUMP);
+    }
+
+    /// Advances this generator by exactly 2¹⁹² steps: 2⁶⁴ [`jump`]-sized
+    /// blocks, for splitting the period among top-level processes that each
+    /// split further with [`jump`](Rng::jump).
+    pub fn long_jump(&mut self) {
+        self.polynomial_jump(&LONG_JUMP);
+    }
+
+    /// Shared jump kernel: replaces the state with the linear-engine state
+    /// reached after the number of steps encoded by `poly`.
+    fn polynomial_jump(&mut self, poly: &[u64; 4]) {
+        let mut acc = [0u64; 4];
+        for &word in poly {
+            for bit in 0..64 {
+                if word & (1u64 << bit) != 0 {
+                    for (a, s) in acc.iter_mut().zip(&self.s) {
+                        *a ^= s;
+                    }
+                }
+                self.next_u64();
+            }
+        }
+        self.s = acc;
+    }
+}
+
+/// `N` xoshiro256++ streams advanced in lockstep with structure-of-arrays
+/// state — the lane-parallel layer the SIMD backend draws from.
+///
+/// Lane `l` is the base stream advanced by `l` [`Rng::jump`]s, so every lane
+/// owns a provably disjoint 2¹²⁸-draw segment of the same period: no
+/// cross-lane correlation is possible by construction. The stepping loops
+/// are written over flat `[u64; N]` arrays so LLVM autovectorizes them, and
+/// [`fill_exp`](LaneRng::fill_exp) draws the uniforms for **all** lanes
+/// before running the `ln()` pass, keeping the vectorizable integer work
+/// separate from the scalar transcendental tail.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LaneRng<const N: usize> {
+    s0: [u64; N],
+    s1: [u64; N],
+    s2: [u64; N],
+    s3: [u64; N],
+}
+
+impl<const N: usize> LaneRng<N> {
+    /// Consumes `N` consecutive jump-spaced streams from `cursor`: lane `l`
+    /// receives the cursor's state after `l` jumps, and the cursor is left
+    /// `N` jumps ahead — so successive calls (e.g. one per lane block) keep
+    /// extending the same disjoint sequence of stream segments.
+    pub fn from_jump_cursor(cursor: &mut Rng) -> Self {
+        let mut out = Self {
+            s0: [0; N],
+            s1: [0; N],
+            s2: [0; N],
+            s3: [0; N],
+        };
+        for l in 0..N {
+            out.s0[l] = cursor.s[0];
+            out.s1[l] = cursor.s[1];
+            out.s2[l] = cursor.s[2];
+            out.s3[l] = cursor.s[3];
+            cursor.jump();
+        }
+        out
+    }
+
+    /// One lockstep step: every lane's next raw output, in lane order.
+    pub fn next_u64_all(&mut self) -> [u64; N] {
+        let mut r = [0u64; N];
+        for (l, out) in r.iter_mut().enumerate() {
+            *out = self.s0[l]
+                .wrapping_add(self.s3[l])
+                .rotate_left(23)
+                .wrapping_add(self.s0[l]);
+        }
+        for l in 0..N {
+            let t = self.s1[l] << 17;
+            self.s2[l] ^= self.s0[l];
+            self.s3[l] ^= self.s1[l];
+            self.s1[l] ^= self.s2[l];
+            self.s0[l] ^= self.s3[l];
+            self.s2[l] ^= t;
+            self.s3[l] = self.s3[l].rotate_left(45);
+        }
+        r
+    }
+
+    /// Uniform draws in `[0, 1)` for every lane, 53 bits each.
+    pub fn uniform_all(&mut self) -> [f64; N] {
+        let raw = self.next_u64_all();
+        let mut u = [0.0f64; N];
+        for l in 0..N {
+            u[l] = (raw[l] >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        }
+        u
+    }
+
+    /// Fills `out` with one `Exp(rate)` draw per lane: uniforms for all
+    /// lanes first (the vectorizable pass), then the `ln()` pass. A
+    /// non-positive rate yields `+∞` everywhere **without consuming any
+    /// draws**, matching [`Rng::exponential`].
+    pub fn fill_exp(&mut self, rate: f64, out: &mut [f64; N]) {
+        debug_assert!(!rate.is_nan(), "exponential rate must not be NaN");
+        if rate <= 0.0 || rate.is_nan() {
+            *out = [f64::INFINITY; N];
+            return;
+        }
+        let u = self.uniform_all();
+        for l in 0..N {
+            out[l] = exp_inverse_cdf(u[l], rate);
+        }
+    }
+
+    /// Steps lane `l` alone and returns its next raw output (the slow-path
+    /// escape hatch: lanes draw individually only on actual error events).
+    pub fn next_u64_lane(&mut self, l: usize) -> u64 {
+        let r = self.s0[l]
+            .wrapping_add(self.s3[l])
+            .rotate_left(23)
+            .wrapping_add(self.s0[l]);
+        let t = self.s1[l] << 17;
+        self.s2[l] ^= self.s0[l];
+        self.s3[l] ^= self.s1[l];
+        self.s1[l] ^= self.s2[l];
+        self.s0[l] ^= self.s3[l];
+        self.s2[l] ^= t;
+        self.s3[l] = self.s3[l].rotate_left(45);
+        r
+    }
+
+    /// Uniform draw in `[0, 1)` from lane `l` alone.
+    pub fn uniform_lane(&mut self, l: usize) -> f64 {
+        (self.next_u64_lane(l) >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// `Exp(rate)` draw from lane `l` alone; `+∞` without consuming a draw
+    /// for non-positive rates, like [`Rng::exponential`].
+    pub fn exp_lane(&mut self, l: usize, rate: f64) -> f64 {
+        debug_assert!(!rate.is_nan(), "exponential rate must not be NaN");
+        if rate <= 0.0 || rate.is_nan() {
+            return f64::INFINITY;
+        }
+        exp_inverse_cdf(self.uniform_lane(l), rate)
     }
 }
 
@@ -153,5 +358,81 @@ mod tests {
         let mut b = parent.split();
         let collisions = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
         assert_eq!(collisions, 0);
+    }
+
+    #[test]
+    fn jump_and_long_jump_produce_distinct_deterministic_streams() {
+        let base = Rng::new(1234);
+        let mut jumped = base.clone();
+        jumped.jump();
+        let mut long_jumped = base.clone();
+        long_jumped.long_jump();
+        let mut again = base.clone();
+        again.jump();
+        assert_eq!(jumped, again, "jump must be deterministic");
+        assert_ne!(jumped, base);
+        assert_ne!(long_jumped, base);
+        assert_ne!(jumped, long_jumped);
+    }
+
+    #[test]
+    fn lane_streams_match_jumped_scalar_streams() {
+        // Lane l of a LaneRng must replay exactly the scalar stream obtained
+        // by jumping the base l times — the lockstep layout changes nothing
+        // about any lane's own draw sequence.
+        let mut cursor = Rng::new(77);
+        let mut scalar: Vec<Rng> = Vec::new();
+        {
+            let mut c = cursor.clone();
+            for _ in 0..4 {
+                scalar.push(c.clone());
+                c.jump();
+            }
+        }
+        let mut lanes: LaneRng<4> = LaneRng::from_jump_cursor(&mut cursor);
+        for _ in 0..64 {
+            let all = lanes.next_u64_all();
+            for (l, s) in scalar.iter_mut().enumerate() {
+                assert_eq!(all[l], s.next_u64(), "lane {l}");
+            }
+        }
+    }
+
+    #[test]
+    fn single_lane_stepping_matches_lockstep() {
+        let mut cursor = Rng::new(3);
+        let mut a: LaneRng<8> = LaneRng::from_jump_cursor(&mut cursor);
+        let mut b = a.clone();
+        for _ in 0..16 {
+            let all = a.next_u64_all();
+            let one: Vec<u64> = (0..8).map(|l| b.next_u64_lane(l)).collect();
+            assert_eq!(all.to_vec(), one);
+        }
+    }
+
+    #[test]
+    fn fill_exp_matches_per_lane_scalar_sampling() {
+        let mut cursor = Rng::new(42);
+        let mut lanes: LaneRng<8> = LaneRng::from_jump_cursor(&mut cursor);
+        let mut solo = lanes.clone();
+        let mut out = [0.0f64; 8];
+        lanes.fill_exp(2.5, &mut out);
+        for (l, &x) in out.iter().enumerate() {
+            assert_eq!(x, solo.exp_lane(l, 2.5), "lane {l}");
+            assert!(x >= 0.0 && x.is_finite());
+        }
+        // Non-positive rates: all lanes +∞, no draws consumed.
+        let before = lanes.clone();
+        lanes.fill_exp(0.0, &mut out);
+        assert!(out.iter().all(|x| x.is_infinite()));
+        assert_eq!(lanes, before);
+    }
+
+    #[test]
+    fn zero_rate_consumes_no_draws() {
+        let mut rng = Rng::new(8);
+        let before = rng.clone();
+        assert!(rng.exponential(0.0).is_infinite());
+        assert_eq!(rng, before, "disabled error source must not advance RNG");
     }
 }

@@ -65,8 +65,8 @@ pub struct RunConfig {
     /// any machine.
     pub seed: u64,
     /// Simulation engine backend ([`Backend::Auto`] resolves against
-    /// `replications`). Defaults to [`Backend::Event`], the bit-stable
-    /// reference.
+    /// `replications` and, for large runs, the host's SIMD feature check).
+    /// Defaults to [`Backend::Event`], the bit-stable reference.
     pub backend: Backend,
     /// When set, the report carries a completion-time histogram of this
     /// shape alongside the moment summaries.
@@ -156,6 +156,55 @@ impl ThreadAcc {
             h.record(e.time);
         }
     }
+
+    /// Merges a finished stream accumulator in (streams merge in stream
+    /// order — floating-point merges are order-sensitive).
+    fn absorb(&mut self, other: &ThreadAcc) {
+        self.overhead.merge(&other.overhead);
+        self.time.merge(&other.time);
+        self.fail_stop += other.fail_stop;
+        self.silent += other.silent;
+        self.detections += other.detections;
+        self.total_time += other.total_time;
+        if let (Some(into), Some(from)) = (&mut self.hist, &other.hist) {
+            into.merge(from);
+        }
+    }
+
+    /// Finalizes the merged accumulator into the run's report.
+    fn into_report(self, replications: u64) -> SimReport {
+        SimReport {
+            overhead: Summary::from_stats(&self.overhead),
+            time: Summary::from_stats(&self.time),
+            fail_stop_events: self.fail_stop,
+            silent_errors: self.silent,
+            silent_detections: self.detections,
+            total_time: self.total_time,
+            replications,
+            time_histogram: self.hist,
+        }
+    }
+
+    /// Folds a group of `n` identical replications in. `n == 1` routes
+    /// through [`push`](Self::push) so backends that emit singles (event,
+    /// batch — including everything bit-pinned by goldens) keep their exact
+    /// accumulation arithmetic; larger groups (the SIMD drain) fold in O(1)
+    /// through the Welford merge form.
+    fn push_group(&mut self, e: &Execution, n: u64, work: f64) {
+        if n == 1 {
+            self.push(e, work);
+            return;
+        }
+        self.overhead.push_n((e.time - work) / work, n);
+        self.time.push_n(e.time, n);
+        self.fail_stop += e.fail_stop_events * n;
+        self.silent += e.silent_errors * n;
+        self.detections += e.silent_detections * n;
+        self.total_time += e.time * n as f64;
+        if let Some(h) = &mut self.hist {
+            h.record_n(e.time, n);
+        }
+    }
 }
 
 /// Runs `cfg.replications` independent executions of `pattern` and merges
@@ -192,6 +241,39 @@ pub fn run_replications(
     let stream_count = cfg.threads.max(1).min(cfg.replications as usize);
     let os_threads = stream_count.min(thread_cap());
     let mut root = Rng::new(cfg.seed);
+    // Stream i's replication share — the ONE definition of the partition,
+    // used by both execution paths below so they cannot drift apart: as
+    // even as possible, the first `replications % stream_count` streams
+    // taking one extra.
+    let stream_share = |i: u64| {
+        cfg.replications / stream_count as u64
+            + u64::from(i < cfg.replications % stream_count as u64)
+    };
+
+    // Single-OS-thread runs (notably every per-cell simulation of a sharded
+    // sweep, which uses one stream per cell) skip thread::scope entirely:
+    // same stream seeding, same partition, same merge order — bit-identical
+    // results, but no thread spawn, stream vector or bucket allocation per
+    // call. On the million-cell path this is the difference between one
+    // thread spawn per sweep worker and one per cell.
+    if os_threads == 1 {
+        let mut merged = ThreadAcc::new(cfg.time_hist);
+        for i in 0..stream_count as u64 {
+            let mut rng = root.split();
+            let mut acc = ThreadAcc::new(cfg.time_hist);
+            engine.execute_stream_grouped(
+                &mut rng,
+                stream_share(i),
+                &compiled,
+                platform,
+                costs,
+                &mut |e, n| acc.push_group(&e, n, work),
+            );
+            merged.absorb(&acc);
+        }
+        return merged.into_report(cfg.replications);
+    }
+
     let streams: Vec<Rng> = (0..stream_count).map(|_| root.split()).collect();
 
     // Contiguous stream buckets, one per OS thread.
@@ -203,6 +285,7 @@ pub fn run_replications(
 
     let mut accs: Vec<(usize, ThreadAcc)> = std::thread::scope(|scope| {
         let compiled = &compiled;
+        let stream_share = &stream_share;
         let handles: Vec<_> = buckets
             .into_iter()
             .map(|bucket| {
@@ -210,19 +293,14 @@ pub fn run_replications(
                     bucket
                         .into_iter()
                         .map(|(i, mut rng)| {
-                            // Split replications over streams as evenly as
-                            // possible.
-                            let base = cfg.replications / stream_count as u64;
-                            let extra =
-                                u64::from((i as u64) < cfg.replications % stream_count as u64);
                             let mut acc = ThreadAcc::new(cfg.time_hist);
-                            engine.execute_stream(
+                            engine.execute_stream_grouped(
                                 &mut rng,
-                                base + extra,
+                                stream_share(i as u64),
                                 compiled,
                                 platform,
                                 costs,
-                                &mut |e| acc.push(&e, work),
+                                &mut |e, n| acc.push_group(&e, n, work),
                             );
                             (i, acc)
                         })
@@ -241,26 +319,9 @@ pub fn run_replications(
 
     let mut merged = ThreadAcc::new(cfg.time_hist);
     for (_, acc) in &accs {
-        merged.overhead.merge(&acc.overhead);
-        merged.time.merge(&acc.time);
-        merged.fail_stop += acc.fail_stop;
-        merged.silent += acc.silent;
-        merged.detections += acc.detections;
-        merged.total_time += acc.total_time;
-        if let (Some(into), Some(from)) = (&mut merged.hist, &acc.hist) {
-            into.merge(from);
-        }
+        merged.absorb(acc);
     }
-    SimReport {
-        overhead: Summary::from_stats(&merged.overhead),
-        time: Summary::from_stats(&merged.time),
-        fail_stop_events: merged.fail_stop,
-        silent_errors: merged.silent,
-        silent_detections: merged.detections,
-        total_time: merged.total_time,
-        replications: cfg.replications,
-        time_histogram: merged.hist,
-    }
+    merged.into_report(cfg.replications)
 }
 
 #[cfg(test)]

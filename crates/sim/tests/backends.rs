@@ -3,18 +3,20 @@
 //!
 //! Two pins:
 //!
-//! * **Equivalence** — at fixed seeds, the event and batch backends must
-//!   agree within overlapping 99% confidence intervals on mean completion
-//!   time, mean fail-stop events and mean silent errors per replication,
-//!   for all six named scenarios (the three reference scenarios and the
-//!   three gentler validation scenarios).
+//! * **Equivalence** — at fixed seeds, every pair drawn from the event,
+//!   batch and SIMD backends must agree within overlapping 99% confidence
+//!   intervals on mean completion time, mean fail-stop events and mean
+//!   silent errors per replication, for all six named scenarios (the three
+//!   reference scenarios and the three gentler validation scenarios).
 //! * **Regression** — the event backend's outputs are bit-pinned against
 //!   goldens captured from the pre-`Engine`-trait implementation (the PR 2
 //!   executor era), so the refactor provably changed nothing and future
 //!   "optimizations" of the reference backend fail loudly.
 
 use resilience::{reference_scenarios, validation_scenarios, Scenario, Theorem};
-use sim::{run_replications, Backend, BatchEngine, Engine, EventEngine, Rng, RunConfig};
+use sim::{
+    run_replications, Backend, BatchEngine, Engine, EventEngine, Rng, RunConfig, SimdEngine,
+};
 use stats::OnlineStats;
 
 /// All six named scenarios: hera, atlas, petascale, hera-lite, atlas
@@ -67,24 +69,32 @@ fn backends_agree_within_ci99_on_all_six_scenarios() {
     for scenario in six_scenarios() {
         let event = sample(&EventEngine, &scenario, REPS, 0xacc0_4d5e);
         let batch = sample(&BatchEngine::default(), &scenario, REPS, 0xacc0_4d5e);
-        for (label, e, b) in [
-            ("time", &event.time, &batch.time),
-            ("fail-stop", &event.fail_stop, &batch.fail_stop),
-            ("silent", &event.silent, &batch.silent),
+        let simd = sample(&SimdEngine::default(), &scenario, REPS, 0xacc0_4d5e);
+        for (pair, a, b) in [
+            ("event-vs-batch", &event, &batch),
+            ("event-vs-simd", &event, &simd),
+            ("batch-vs-simd", &batch, &simd),
         ] {
-            assert!(
-                ci99_overlap(e, b),
-                "{}/{label}: event {:.6}±{:.6} vs batch {:.6}±{:.6}",
-                scenario.name,
-                e.mean(),
-                2.576 * e.std_err(),
-                b.mean(),
-                2.576 * b.std_err()
-            );
+            for (label, x, y) in [
+                ("time", &a.time, &b.time),
+                ("fail-stop", &a.fail_stop, &b.fail_stop),
+                ("silent", &a.silent, &b.silent),
+            ] {
+                assert!(
+                    ci99_overlap(x, y),
+                    "{}/{pair}/{label}: {:.6}±{:.6} vs {:.6}±{:.6}",
+                    scenario.name,
+                    x.mean(),
+                    2.576 * x.std_err(),
+                    y.mean(),
+                    2.576 * y.std_err()
+                );
+            }
         }
-        // Both backends must agree the error mix is physical: a corruption
+        // All backends must agree the error mix is physical: a corruption
         // can be wiped by a crash but never the other way around.
         assert!(event.silent.mean() >= 0.0 && batch.silent.mean() >= 0.0);
+        assert!(simd.silent.mean() >= 0.0);
     }
 }
 
@@ -102,24 +112,93 @@ fn backends_agree_through_the_runner_too() {
             time_hist: None,
         };
         let event = run_replications(&optimum.pattern, &scenario.platform, &scenario.costs, &cfg);
-        let batch = run_replications(
-            &optimum.pattern,
+        for backend in [Backend::Batch, Backend::Simd] {
+            let other = run_replications(
+                &optimum.pattern,
+                &scenario.platform,
+                &scenario.costs,
+                &RunConfig { backend, ..cfg },
+            );
+            let gap = (event.overhead.mean - other.overhead.mean).abs();
+            // ci95 ≈ 1.96·se, so 1.315·(ci95_a + ci95_b) is the 99% overlap.
+            let budget = 1.315 * (event.overhead.ci95 + other.overhead.ci95);
+            assert!(
+                gap <= budget,
+                "{}: event vs {} overhead gap {gap} exceeds {budget}",
+                scenario.name,
+                backend.label()
+            );
+        }
+    }
+}
+
+#[test]
+fn simd_grouped_stream_expands_to_the_flat_stream() {
+    // The grouped emission contract: expanding every (outcome, count) group
+    // in order must reproduce execute_stream's per-replication sequence.
+    for scenario in six_scenarios() {
+        let optimum = Theorem::Four.optimize(&scenario.platform, &scenario.costs);
+        let compiled = optimum.pattern.compile();
+        let engine = SimdEngine::default();
+        let mut flat = Vec::new();
+        engine.execute_stream(
+            &mut Rng::new(0x51d5),
+            3_000,
+            &compiled,
             &scenario.platform,
             &scenario.costs,
-            &RunConfig {
-                backend: Backend::Batch,
-                ..cfg
-            },
+            &mut |e| flat.push(e),
         );
-        let gap = (event.overhead.mean - batch.overhead.mean).abs();
-        // ci95 ≈ 1.96·se, so 1.315·(ci95_a + ci95_b) is the 99% overlap.
-        let budget = 1.315 * (event.overhead.ci95 + batch.overhead.ci95);
-        assert!(
-            gap <= budget,
-            "{}: overhead gap {gap} exceeds {budget}",
-            scenario.name
+        let mut expanded = Vec::new();
+        engine.execute_stream_grouped(
+            &mut Rng::new(0x51d5),
+            3_000,
+            &compiled,
+            &scenario.platform,
+            &scenario.costs,
+            &mut |e, n| expanded.extend(std::iter::repeat_n(e, n as usize)),
         );
+        assert_eq!(flat, expanded, "{}", scenario.name);
     }
+}
+
+#[test]
+fn simd_runner_results_are_deterministic_and_isa_independent() {
+    // Fixed (seed, threads, replications, backend) must reproduce exactly,
+    // and the AVX2 mask path must be bit-identical to the scalar fallback —
+    // the simd backend's results never depend on the host ISA.
+    let scenario = &reference_scenarios()[0];
+    let optimum = Theorem::Four.optimize(&scenario.platform, &scenario.costs);
+    let cfg = RunConfig {
+        replications: 30_000,
+        threads: 3,
+        seed: 0xd15a,
+        backend: Backend::Simd,
+        time_hist: None,
+    };
+    let a = run_replications(&optimum.pattern, &scenario.platform, &scenario.costs, &cfg);
+    let b = run_replications(&optimum.pattern, &scenario.platform, &scenario.costs, &cfg);
+    assert_eq!(a, b, "simd backend must reproduce at a fixed seed");
+    assert_eq!(a.replications, 30_000);
+
+    let compiled = optimum.pattern.compile();
+    let collect = |force_scalar: bool| {
+        let engine = SimdEngine {
+            force_scalar,
+            ..SimdEngine::default()
+        };
+        let mut out = Vec::new();
+        engine.execute_stream(
+            &mut Rng::new(0x15a_15a),
+            20_000,
+            &compiled,
+            &scenario.platform,
+            &scenario.costs,
+            &mut |e| out.push(e),
+        );
+        out
+    };
+    assert_eq!(collect(false), collect(true));
 }
 
 /// Golden values captured from the pre-refactor discrete-event engine

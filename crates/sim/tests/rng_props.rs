@@ -1,9 +1,10 @@
 //! Property tests for the simulator's randomness plumbing: distributional
-//! correctness of the exponential sampler, independence of split streams,
-//! and injectivity of the per-cell seed derivation — the three properties
-//! every backend's statistical guarantees stand on.
+//! correctness of the exponential sampler (edge cases included), independence
+//! of split streams, disjointness of jump-spaced lane streams, and
+//! injectivity of the per-cell seed derivation — the properties every
+//! backend's statistical guarantees stand on.
 
-use sim::{cell_seed, Rng};
+use sim::{cell_seed, exp_inverse_cdf, LaneRng, Rng};
 use stats::OnlineStats;
 use std::collections::HashSet;
 
@@ -67,6 +68,105 @@ fn split_is_deterministic_and_seed_sensitive() {
     };
     assert_eq!(prefix(9), prefix(9));
     assert_ne!(prefix(9), prefix(10));
+}
+
+#[test]
+fn exp_inverse_cdf_edge_cases_are_pinned() {
+    // u = 0 is exactly zero; the sampler's support starts at the origin.
+    assert_eq!(exp_inverse_cdf(0.0, 3.0), 0.0);
+    // The largest 53-bit uniform stays finite and positive.
+    let u_max = 1.0 - 2f64.powi(-53);
+    let tail = exp_inverse_cdf(u_max, 3.0);
+    assert!(tail.is_finite() && tail > 0.0);
+    // u = 1 (impossible from our uniforms, possible from foreign ones) is
+    // clamped to a finite cap instead of +∞ — and the cap dominates every
+    // in-range sample.
+    let cap = exp_inverse_cdf(1.0, 3.0);
+    assert!(cap.is_finite(), "u == 1 must not produce +∞");
+    assert!(cap >= tail);
+    assert_eq!(cap, -f64::MIN_POSITIVE.ln() / 3.0);
+    // A subnormal tail (u just below 1) is clamped identically.
+    let u_subnormal = 1.0 - f64::MIN_POSITIVE / 4.0;
+    assert_eq!(exp_inverse_cdf(u_subnormal, 3.0), cap);
+    // Monotone in u over the interior.
+    assert!(exp_inverse_cdf(0.25, 3.0) < exp_inverse_cdf(0.75, 3.0));
+}
+
+#[cfg(debug_assertions)]
+#[test]
+#[should_panic(expected = "positive finite rate")]
+fn exp_inverse_cdf_rejects_non_positive_rates_in_debug() {
+    exp_inverse_cdf(0.5, 0.0);
+}
+
+#[test]
+fn exponential_defines_non_positive_rates_as_never_firing() {
+    // Rng::exponential gates before the core transform: rate <= 0 is the
+    // documented "this error source is disabled" spelling — +∞, and the
+    // stream does not advance (so enabling/disabling a source never shifts
+    // the other source's draws).
+    let mut rng = Rng::new(99);
+    for rate in [0.0, -1.0, f64::NEG_INFINITY] {
+        let before = rng.clone();
+        assert!(rng.exponential(rate).is_infinite(), "rate {rate}");
+        assert_eq!(rng, before, "rate {rate} must not consume a draw");
+    }
+    // And a positive rate still samples normally afterwards.
+    assert!(rng.exponential(1.0).is_finite());
+}
+
+#[test]
+fn jumped_streams_share_no_draws_over_64_draw_prefixes() {
+    // 8 jump-spaced lane streams (the SIMD backend's layout): pairwise
+    // disjoint 64-draw prefixes, no shared single draws, and none repeats
+    // the parent's own continuation. Jumps advance by 2^128 steps, so
+    // overlap would require a 2^128-draw prefix; this is the smoke test
+    // that the jump polynomial is implemented right.
+    let mut parent = Rng::new(0x1a2b_3c4d);
+    let mut cursor = parent.split();
+    let mut lanes: LaneRng<8> = LaneRng::from_jump_cursor(&mut cursor);
+    let mut prefixes: Vec<Vec<u64>> = (0..8).map(|_| Vec::with_capacity(64)).collect();
+    for _ in 0..64 {
+        let all = lanes.next_u64_all();
+        for (l, &x) in all.iter().enumerate() {
+            prefixes[l].push(x);
+        }
+    }
+    prefixes.push((0..64).map(|_| parent.next_u64()).collect());
+    for i in 0..prefixes.len() {
+        for j in i + 1..prefixes.len() {
+            let matches = prefixes[i]
+                .iter()
+                .zip(&prefixes[j])
+                .filter(|(a, b)| a == b)
+                .count();
+            assert_eq!(matches, 0, "streams {i} and {j} share draws");
+        }
+    }
+    // All 9 × 64 draws globally distinct, not just pairwise unequal.
+    let all: HashSet<u64> = prefixes.iter().flatten().copied().collect();
+    assert_eq!(all.len(), 9 * 64);
+}
+
+#[test]
+fn cell_seed_by_lane_index_is_injective() {
+    // The SIMD executor path composes both derivations: cell_seed picks the
+    // cell's base stream, jump spacing picks the lane within it. The first
+    // draw of every (cell, lane) pair over 100 cells × 8 lanes must be
+    // unique — a collision would correlate two cells' simulations.
+    let mut first_draws: HashSet<u64> = HashSet::new();
+    for cell in 0..100u64 {
+        let mut root = Rng::new(cell_seed(0xc0de, cell));
+        let mut cursor = root.split();
+        let mut lanes: LaneRng<8> = LaneRng::from_jump_cursor(&mut cursor);
+        for &draw in lanes.next_u64_all().iter() {
+            assert!(
+                first_draws.insert(draw),
+                "cell {cell} collides with an earlier (cell, lane) stream"
+            );
+        }
+    }
+    assert_eq!(first_draws.len(), 800);
 }
 
 #[test]

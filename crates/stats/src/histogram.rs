@@ -42,15 +42,23 @@ impl Histogram {
     /// Records one observation. `lo` and `hi` are both in range; `hi` falls
     /// in the top bin (NaN never compares in range and counts as overflow).
     pub fn record(&mut self, x: f64) {
-        self.total += 1;
+        self.record_n(x, 1);
+    }
+
+    /// Records `n` identical observations in O(1) — one bin lookup, `n`
+    /// added to its count. Exactly equal to `n` [`record`](Self::record)
+    /// calls (counts are integers, so unlike moment accumulators there is
+    /// no rounding caveat); `n == 0` is a no-op.
+    pub fn record_n(&mut self, x: f64, n: u64) {
+        self.total += n;
         if x < self.lo {
-            self.underflow += 1;
+            self.underflow += n;
         } else if x > self.hi || x.is_nan() {
-            self.overflow += 1;
+            self.overflow += n;
         } else {
             let frac = (x - self.lo) / (self.hi - self.lo);
             let idx = ((frac * self.counts.len() as f64) as usize).min(self.counts.len() - 1);
-            self.counts[idx] += 1;
+            self.counts[idx] += n;
         }
     }
 
@@ -124,6 +132,19 @@ mod tests {
         assert_eq!(h.counts()[9], 1);
         assert_eq!(h.counts()[5], 1);
         assert_eq!(h.total(), 3);
+    }
+
+    #[test]
+    fn record_n_equals_repeated_record() {
+        let mut bulk = Histogram::new(0.0, 10.0, 4);
+        let mut seq = bulk.clone();
+        for (x, n) in [(2.5, 3u64), (-1.0, 2), (11.0, 1), (10.0, 4), (7.0, 0)] {
+            bulk.record_n(x, n);
+            for _ in 0..n {
+                seq.record(x);
+            }
+        }
+        assert_eq!(bulk, seq);
     }
 
     #[test]

@@ -47,6 +47,25 @@ impl OnlineStats {
         self.max = self.max.max(x);
     }
 
+    /// Adds `n` identical observations in O(1): a run of equal values is an
+    /// accumulator with zero variance, so this is one [`merge`] step, not
+    /// `n` pushes. Backends that drain whole runs of identical outcomes
+    /// (e.g. the SIMD engine's clean-attempt drain) rely on this to keep
+    /// accumulation off the per-replication path.
+    ///
+    /// Equivalent to `for _ in 0..n { self.push(x) }` up to floating-point
+    /// rounding (the merge and the sequential recurrence associate
+    /// differently); `n == 0` is a no-op.
+    pub fn push_n(&mut self, x: f64, n: u64) {
+        self.merge(&OnlineStats {
+            count: n,
+            mean: x,
+            m2: 0.0,
+            min: x,
+            max: x,
+        });
+    }
+
     /// Merges another accumulator into `self` (parallel Welford update).
     pub fn merge(&mut self, other: &OnlineStats) {
         if other.count == 0 {
@@ -239,6 +258,25 @@ mod tests {
         let mut e = OnlineStats::new();
         e.merge(&before);
         assert_eq!(e, before);
+    }
+
+    #[test]
+    fn push_n_matches_repeated_push() {
+        let mut bulk = OnlineStats::new();
+        bulk.push(3.0);
+        bulk.push_n(7.5, 4);
+        bulk.push_n(1.25, 1);
+        bulk.push_n(99.0, 0); // no-op
+
+        let mut seq = OnlineStats::new();
+        for x in [3.0, 7.5, 7.5, 7.5, 7.5, 1.25] {
+            seq.push(x);
+        }
+        assert_eq!(bulk.count(), seq.count());
+        assert_close(bulk.mean(), seq.mean());
+        assert_close(bulk.variance(), seq.variance());
+        assert_eq!(bulk.min(), seq.min());
+        assert_eq!(bulk.max(), seq.max());
     }
 
     #[test]
