@@ -199,6 +199,53 @@ pub fn recall_matrix(m: usize, recall: f64) -> SymMatrix {
     SymMatrix::from_fn(m, |i, j| 0.5 * (1.0 + (1.0 - recall).powi((j - i) as i32)))
 }
 
+/// Chunk counts small enough for [`recall_quadratic_form`] to stage the
+/// recall powers on the stack instead of the heap.
+const RECALL_STACK_DIM: usize = 64;
+
+/// The quadratic form `βᵀ A β` of [`recall_matrix`]`(x.len(), recall)`
+/// without materializing the matrix: entries are regenerated on the fly in
+/// the exact order [`SymMatrix::quadratic_form`] reads them, so the result
+/// is **bit-identical** to building the matrix first (pinned by test). This
+/// is the sweep hot path — theorem-3/4 optimizers evaluate this form on
+/// every cache miss, and the packed triangle would be the only per-call
+/// `O(m²)` allocation left.
+///
+/// Each entry is `0.5·(1 + (1−r)^{|i−j|})` with the power taken by `powi`
+/// exactly as `recall_matrix` does (iterated multiplication would round
+/// differently); the `m` powers are staged once in a stack buffer for
+/// `m ≤ 64` and on the heap above that.
+///
+/// # Panics
+/// Panics when `x` is empty.
+pub fn recall_quadratic_form(recall: f64, x: &[f64]) -> f64 {
+    let m = x.len();
+    assert!(m >= 1, "quadratic form needs at least one chunk");
+    let mut stack = [0.0f64; RECALL_STACK_DIM];
+    let mut heap: Vec<f64>;
+    let pow: &mut [f64] = if m <= RECALL_STACK_DIM {
+        &mut stack[..m]
+    } else {
+        heap = vec![0.0; m];
+        &mut heap
+    };
+    for (k, p) in pow.iter_mut().enumerate() {
+        *p = 0.5 * (1.0 + (1.0 - recall).powi(k as i32));
+    }
+    // Mirror SymMatrix::quadratic_form term for term: diagonal entry, then
+    // the off-diagonal row accumulated separately and doubled.
+    let mut acc = 0.0;
+    for i in 0..m {
+        acc += pow[0] * x[i] * x[i];
+        let mut off = 0.0;
+        for (j, &xj) in x.iter().enumerate().skip(i + 1) {
+            off += pow[j - i] * xj;
+        }
+        acc += 2.0 * x[i] * off;
+    }
+    acc
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -237,6 +284,29 @@ mod tests {
         let s = m.symmetric_part();
         let x = [0.4, 0.1, 0.2, 0.3];
         assert!(approx_eq(m.quadratic_form(&x), s.quadratic_form(&x), 1e-12));
+    }
+
+    #[test]
+    fn recall_quadratic_form_is_bit_identical_to_materialized_matrix() {
+        // The matrix-free form is the sweep hot path; it must reproduce the
+        // packed-triangle result to the last bit (not approximately) across
+        // stack-staged and heap-staged chunk counts, or bit-pinned sweep
+        // outputs would silently change.
+        for &m in &[1usize, 2, 3, 7, 31, 64, 65, 130] {
+            for &r in &[0.05, 0.31, 0.5, 0.8, 0.95, 1.0] {
+                // Deterministic non-uniform weights summing to 1.
+                let raw: Vec<f64> = (0..m).map(|i| 1.0 + ((i * 37 + 11) % 13) as f64).collect();
+                let total: f64 = raw.iter().sum();
+                let x: Vec<f64> = raw.iter().map(|v| v / total).collect();
+                let dense = recall_matrix(m, r).quadratic_form(&x);
+                let free = recall_quadratic_form(r, &x);
+                assert_eq!(
+                    free.to_bits(),
+                    dense.to_bits(),
+                    "m={m} r={r}: {free} vs {dense}"
+                );
+            }
+        }
     }
 
     #[test]

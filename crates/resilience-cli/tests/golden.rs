@@ -103,6 +103,87 @@ fn engine_flag_rejects_unknown_backends() {
 }
 
 #[test]
+fn numeric_flags_name_themselves_in_diagnostics() {
+    // A bad numeric value must name the flag and echo the value, not dump
+    // generic usage.
+    for (flag, bad) in [
+        ("--grid-size", "ten"),
+        ("--reps", "many"),
+        ("--threads", "-2"),
+        ("--seed", "0x"),
+    ] {
+        let out = Command::new(env!("CARGO_BIN_EXE_resilience-cli"))
+            .args(["grid", flag, bad])
+            .output()
+            .expect("binary runs");
+        assert_eq!(out.status.code(), Some(2), "{flag}");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        let want = format!("{flag}: expected integer, got \"{bad}\"");
+        assert!(stderr.contains(&want), "{flag}: stderr was {stderr:?}");
+    }
+}
+
+#[test]
+fn shard_flag_rejects_malformed_slices() {
+    for bad in ["4/4", "0/0", "x/y", "3"] {
+        let out = Command::new(env!("CARGO_BIN_EXE_resilience-cli"))
+            .args(["grid", "--grid-size", "2", "--shard", bad])
+            .output()
+            .expect("binary runs");
+        assert_eq!(out.status.code(), Some(2), "shard {bad}");
+        assert!(String::from_utf8_lossy(&out.stderr).contains("--shard"));
+    }
+}
+
+#[test]
+fn shard_concatenation_is_byte_identical_to_the_unsharded_run() {
+    // Four shard invocations (separate processes, separate caches),
+    // concatenated in index order, must reproduce the unsharded stdout
+    // byte for byte — shard 0 carries the header.
+    let full = run(&["grid", "--grid-size", "3", "--threads", "2"]);
+    let mut concat = Vec::new();
+    for shard in 0..4 {
+        concat.extend(run(&[
+            "grid",
+            "--grid-size",
+            "3",
+            "--threads",
+            "2",
+            "--shard",
+            &format!("{shard}/4"),
+        ]));
+    }
+    assert_eq!(
+        String::from_utf8_lossy(&concat),
+        String::from_utf8_lossy(&full),
+        "shard concatenation diverged"
+    );
+}
+
+#[test]
+fn oversized_grid_refuses_simulation_but_accepts_analytic_shards() {
+    // Above the sim-feasible decade the grid is analytic-only...
+    let out = Command::new(env!("CARGO_BIN_EXE_resilience-cli"))
+        .args(["grid", "--grid-size", "11", "--reps", "10"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("analytic-only"));
+    // ...while an analytic shard of it runs fine (one 121-cell slice of
+    // the 1,331-cell grid; keeps the test fast).
+    let rows = run(&[
+        "grid",
+        "--grid-size",
+        "11",
+        "--threads",
+        "2",
+        "--shard",
+        "3/11",
+    ]);
+    assert_eq!(rows.iter().filter(|&&b| b == b'\n').count(), 121);
+}
+
+#[test]
 fn auto_and_event_engines_agree_at_small_rep_counts() {
     // Below the auto threshold the auto engine must resolve to event and
     // print the exact same bytes.

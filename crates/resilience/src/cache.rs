@@ -9,16 +9,21 @@
 //! a result. Hit/miss counters are exposed so sweeps (and tests) can assert
 //! that repeated cells actually skip recomputation.
 //!
-//! Thread-safe and shareable (`Arc<OptimumCache>`): lookups take a mutex,
-//! but the optimization itself runs outside the lock, so concurrent misses
-//! on *different* keys never serialize. Concurrent misses on the *same* key
-//! may both compute; the optimizers are pure, so both arrive at the same
-//! value and the first insert wins.
+//! Thread-safe and shareable (`Arc<OptimumCache>`), and sharded for
+//! million-cell sweeps: the map is split into [`SHARD_COUNT`] independently
+//! locked shards selected by key hash, so workers querying different keys
+//! almost never contend on a lock, and the hit/miss counters are relaxed
+//! atomics touched strictly *outside* any lock. The optimization itself
+//! also runs outside the lock, so concurrent misses on *different* keys
+//! never serialize. Concurrent misses on the *same* key may both compute;
+//! the optimizers are pure, so both arrive at the same value and the first
+//! insert wins.
 
 use crate::optimal::PatternOptimum;
 use crate::platform::{CostModel, Platform};
 use crate::sweep::Theorem;
 use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
@@ -75,14 +80,32 @@ pub struct CacheStats {
     pub entries: usize,
 }
 
-/// Thread-safe memoization of theorem optima. Unbounded: a sweep's working
-/// set is its distinct (platform, costs, theorem) triples, which the caller
-/// controls.
-#[derive(Debug, Default)]
+/// Number of independently locked map shards. A power of two so the shard
+/// index is a mask of the key hash; 16 keeps contention negligible for any
+/// worker count the executor allows while costing a few hundred bytes of
+/// mutexes when idle.
+pub const SHARD_COUNT: usize = 16;
+
+type Shard = Mutex<HashMap<OptimumKey, PatternOptimum>>;
+
+/// Thread-safe memoization of theorem optima, sharded by key hash.
+/// Unbounded: a sweep's working set is its distinct (platform, costs,
+/// theorem) triples, which the caller controls.
+#[derive(Debug)]
 pub struct OptimumCache {
-    map: Mutex<HashMap<OptimumKey, PatternOptimum>>,
+    shards: [Shard; SHARD_COUNT],
     hits: AtomicU64,
     misses: AtomicU64,
+}
+
+impl Default for OptimumCache {
+    fn default() -> Self {
+        Self {
+            shards: std::array::from_fn(|_| Mutex::new(HashMap::new())),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
 }
 
 impl OptimumCache {
@@ -100,15 +123,19 @@ impl OptimumCache {
         theorem: Theorem,
     ) -> PatternOptimum {
         let key = OptimumKey::new(platform, costs, theorem);
-        if let Some(found) = self.lock().get(&key) {
+        let shard = self.shard(&key);
+        // Clone under the lock, count outside it: the counters are relaxed
+        // atomics and must never extend a critical section.
+        let found = { lock(shard).get(&key).cloned() };
+        if let Some(found) = found {
             self.hits.fetch_add(1, Ordering::Relaxed);
-            return found.clone();
+            return found;
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
         // Optimize outside the lock: concurrent misses on distinct keys
         // must not serialize behind one Theorem-4 derivation.
         let opt = theorem.optimize(platform, costs);
-        self.lock().entry(key).or_insert_with(|| opt.clone());
+        lock(shard).entry(key).or_insert_with(|| opt.clone());
         opt
     }
 
@@ -122,9 +149,9 @@ impl OptimumCache {
         self.misses.load(Ordering::Relaxed)
     }
 
-    /// Distinct entries currently stored.
+    /// Distinct entries currently stored, summed over shards.
     pub fn len(&self) -> usize {
-        self.lock().len()
+        self.shards.iter().map(|s| lock(s).len()).sum()
     }
 
     /// Whether the cache holds no entries.
@@ -141,11 +168,21 @@ impl OptimumCache {
         }
     }
 
-    fn lock(&self) -> std::sync::MutexGuard<'_, HashMap<OptimumKey, PatternOptimum>> {
-        // The map is only touched under this lock and nothing panics while
-        // holding it, so poisoning is unreachable; recover anyway.
-        self.map.lock().unwrap_or_else(|e| e.into_inner())
+    /// The shard owning `key`: high bits of the key's (deterministic
+    /// `DefaultHasher`) hash, masked to [`SHARD_COUNT`]. Only shard
+    /// *placement* depends on this hash — results and counters do not, so
+    /// the choice is free to change without affecting any pinned output.
+    fn shard(&self, key: &OptimumKey) -> &Shard {
+        let mut hasher = std::collections::hash_map::DefaultHasher::new();
+        key.hash(&mut hasher);
+        &self.shards[(hasher.finish() as usize) & (SHARD_COUNT - 1)]
     }
+}
+
+/// Locks one shard, recovering from (unreachable) poisoning: the maps are
+/// only touched under their locks and nothing panics while holding one.
+fn lock(shard: &Shard) -> std::sync::MutexGuard<'_, HashMap<OptimumKey, PatternOptimum>> {
+    shard.lock().unwrap_or_else(|e| e.into_inner())
 }
 
 #[cfg(test)]
@@ -188,6 +225,32 @@ mod tests {
         let b = OptimumKey::new(&s.platform, &nudged, Theorem::One);
         assert_ne!(a, b);
         assert_eq!(a, OptimumKey::new(&s.platform, &s.costs, Theorem::One));
+    }
+
+    #[test]
+    fn entries_spread_over_shards_but_totals_are_exact() {
+        // Many distinct keys: shard placement is an implementation detail,
+        // but the aggregate counters must stay exact and every entry must
+        // be retrievable.
+        let cache = OptimumCache::new();
+        let base = &reference_scenarios()[0];
+        let n = 200u64;
+        for k in 0..n {
+            let mut costs = base.costs;
+            costs.checkpoint = 60.0 + k as f64;
+            cache.optimum(&base.platform, &costs, Theorem::Two);
+        }
+        assert_eq!(cache.stats().misses, n);
+        assert_eq!(cache.stats().hits, 0);
+        assert_eq!(cache.len(), n as usize);
+        // Second pass: all hits, no new entries.
+        for k in 0..n {
+            let mut costs = base.costs;
+            costs.checkpoint = 60.0 + k as f64;
+            cache.optimum(&base.platform, &costs, Theorem::Two);
+        }
+        assert_eq!(cache.stats().hits, n);
+        assert_eq!(cache.len(), n as usize);
     }
 
     #[test]

@@ -11,9 +11,12 @@
 //! * [`optimal`] — closed-form optima for Theorems 1–4 (plus the Young/Daly
 //!   baseline), Eq. (18) chunk sizes, and convex integer rounding;
 //! * [`sweep`] — [`SweepSpec`] cross-products of (platform, costs) points ×
-//!   theorems, expanded into deterministically-indexed cells;
+//!   theorems, expanded *streaming* into deterministically-indexed cells
+//!   (O(1) [`SweepSpec::cell_at`] random access, lazy [`CellName`]s, and a
+//!   procedural canonical grid up to 10⁶ cells);
 //! * [`cache`] — the [`OptimumCache`] memoizing theorem optima on bit-exact
-//!   `(Platform, CostModel, Theorem)` keys, with hit/miss counters.
+//!   `(Platform, CostModel, Theorem)` keys, sharded into independently
+//!   locked maps with lock-free hit/miss counters.
 //!
 //! Every closed form is cross-checked against the unified numeric optimizers
 //! of the `numerics` crate in `tests/consistency.rs`.
@@ -34,4 +37,4 @@ pub use overhead::{error_free_cost, first_order_overhead, reexec_rate, silent_re
 pub use pattern::{CompiledChunk, CompiledPattern, Pattern, VerifyKind};
 pub use platform::{CostModel, Platform};
 pub use scenario::{reference_scenarios, validation_scenarios, Scenario};
-pub use sweep::{grid_spec, SweepCell, SweepSpec, Theorem};
+pub use sweep::{grid_spec, CellName, SweepCell, SweepSpec, Theorem, GRID_AXIS_LEN};

@@ -188,6 +188,25 @@ fn h4(platform: &Platform, costs: &CostModel, n: f64, m: f64) -> f64 {
     2.0 * (o_ef * o_rw).sqrt()
 }
 
+/// Memoized `h4` evaluation for the warm-started Theorem-4 candidate
+/// search: a linear scan over the (at most ~10) candidates already scored
+/// is cheaper than hashing, and returning the *stored* value keeps every
+/// comparison bit-for-bit identical to an un-memoized run.
+fn h4_memo(
+    evals: &mut Vec<(u64, u64, f64)>,
+    platform: &Platform,
+    costs: &CostModel,
+    n: u64,
+    m: u64,
+) -> f64 {
+    if let Some(&(_, _, h)) = evals.iter().find(|&&(en, em, _)| en == n && em == m) {
+        return h;
+    }
+    let h = h4(platform, costs, n as f64, m as f64);
+    evals.push((n, m, h));
+    h
+}
+
 /// Theorem 4: the combined pattern with `m` guaranteed sub-segments and `n`
 /// partial verifications per sub-segment.
 ///
@@ -196,29 +215,39 @@ fn h4(platform: &Platform, costs: &CostModel, n: f64, m: f64) -> f64 {
 /// the two boundaries: `n = 0` (Theorem 2) or `m = 1` (Theorem 3). The
 /// integer optimum is taken as the best of both rounded boundary candidates
 /// plus a [`best_integer_pair`] polish around each.
+///
+/// The search is deterministically warm-started per query: every integer
+/// candidate is bracketed by this query's *own* closed-form continuous
+/// optima (`m̄₂` along the `n = 0` boundary, `m̄₃` along `m = 1`), so the
+/// interval examined is a handful of points regardless of platform scale,
+/// and the [`h4_memo`] table evaluates each `(n, m)` at most once (boundary
+/// candidates and polish corners overlap). Everything is a pure function of
+/// `(platform, costs)` — cell order, sharding, and cache state cannot
+/// change the result, and the memo returns stored values so the selected
+/// optimum is bit-identical to an un-memoized search.
 pub fn theorem4(platform: &Platform, costs: &CostModel) -> PatternOptimum {
     let (m2_bar, m2) = th2_core(platform, costs);
     let (m3_bar, m3) = th3_core(platform, costs);
 
     // (n, m) candidates; k = n + 1 so that both coordinates share the ≥ 1
     // clamp of best_integer_pair.
-    let eval = |n: u64, m: u64| h4(platform, costs, n as f64, m as f64);
-    let mut best: (u64, u64, f64) = (0, m2, eval(0, m2));
-    let mut consider = |n: u64, m: u64| {
-        let h = eval(n, m);
+    let mut evals: Vec<(u64, u64, f64)> = Vec::with_capacity(12);
+    let mut best: (u64, u64, f64) = (0, m2, h4_memo(&mut evals, platform, costs, 0, m2));
+    let mut consider = |evals: &mut Vec<(u64, u64, f64)>, n: u64, m: u64| {
+        let h = h4_memo(evals, platform, costs, n, m);
         if h < best.2 {
             best = (n, m, h);
         }
     };
-    consider(m3 - 1, 1);
+    consider(&mut evals, m3 - 1, 1);
     for (m_star, k_star) in [(m2_bar.max(1.0), 1.0), (1.0, m3_bar.max(1.0))] {
         let (m, k, _) = best_integer_pair(
-            |m, k| h4(platform, costs, (k - 1) as f64, m as f64),
+            |m, k| h4_memo(&mut evals, platform, costs, k - 1, m),
             m_star,
             k_star,
             1,
         );
-        consider(k - 1, m);
+        consider(&mut evals, k - 1, m);
     }
 
     let (n, m, _) = best;

@@ -17,7 +17,7 @@
 
 use crate::pattern::Pattern;
 use crate::platform::{CostModel, Platform};
-use numerics::matrix::recall_matrix;
+use numerics::matrix::recall_quadratic_form;
 
 /// Error-free time cost `o_ef` of one pattern: all verifications plus the
 /// trailing checkpoint, in seconds.
@@ -41,7 +41,11 @@ pub fn error_free_cost(pattern: &Pattern, costs: &CostModel) -> f64 {
 /// analytic-vs-simulated comparisons fail loudly on both sides.
 pub fn silent_reexec_fraction(pattern: &Pattern, costs: &CostModel) -> f64 {
     pattern.validate();
-    let chunk_form = |beta: &[f64]| recall_matrix(beta.len(), costs.recall).quadratic_form(beta);
+    // Matrix-free βᵀAβ: bit-identical to materializing the recall matrix
+    // (pinned in `numerics`), but with no per-call O(m²) allocation — this
+    // runs on every theorem-3/4 optimizer call, i.e. every cache miss of a
+    // sweep.
+    let chunk_form = |beta: &[f64]| recall_quadratic_form(costs.recall, beta);
     match *pattern {
         Pattern::Checkpoint { .. } => {
             panic!("checkpoint-only pattern cannot detect silent errors")

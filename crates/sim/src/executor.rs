@@ -1,8 +1,15 @@
-//! Sharded sweep executor: expands a [`SweepSpec`] into cells, dispatches
-//! them over a pool of workers that pull from a shared queue (work-stealing:
-//! each worker claims the next unclaimed cell the moment it goes idle, so
-//! expensive cells never stall cheap ones), and streams results back in
-//! deterministic cell order.
+//! Sharded sweep executor: streams a [`SweepSpec`]'s cells over a pool of
+//! workers and emits results back in deterministic cell order.
+//!
+//! Dispatch is *chunked*: workers claim contiguous index ranges off an
+//! atomic cursor, evaluate a whole chunk by walking the spec's streaming
+//! iterator (cells are derived on the fly — nothing is materialized up
+//! front), and send one result block per chunk into a chunk-granular
+//! reorder buffer. On analytic-only runs that amortizes the channel send
+//! and the reorder bookkeeping over hundreds of cells, so per-cell dispatch
+//! overhead is near zero at million-cell scale. Simulated runs keep
+//! single-cell chunks — per-cell work dwarfs dispatch there, and cell-level
+//! stealing is what keeps expensive cells from stalling cheap ones.
 //!
 //! Determinism is structural, not incidental:
 //!
@@ -11,18 +18,23 @@
 //!   indistinguishable from a recomputation);
 //! * every cell's Monte-Carlo seed is derived from `(base seed, cell index)`
 //!   by [`cell_seed`], never from which worker ran it;
-//! * a reorder buffer on the receiving side emits results in increasing
-//!   cell index as soon as each prefix completes.
+//! * the reorder buffer emits results in increasing cell index as soon as
+//!   each prefix completes.
 //!
-//! Consequently the sharded output is byte-identical to the serial loop at a
-//! fixed seed — `tests/executor.rs` asserts this cell-for-cell over the
-//! 1,000-cell canonical grid.
+//! Consequently the output is byte-identical to the serial loop at a fixed
+//! seed for any worker count — `tests/executor.rs` asserts this
+//! cell-for-cell over the 1,000-cell canonical grid. The same holds across
+//! *processes*: [`SweepExecutor::run_streaming_range`] executes any index
+//! sub-range, and concatenating the outputs of a partition of `0..len` in
+//! order reproduces the full run byte for byte (the first rung of
+//! cross-process sharding for million-cell studies).
 
 use crate::engine::Backend;
 use crate::runner::{run_replications, RunConfig, SimReport};
 use resilience::cache::OptimumCache;
 use resilience::optimal::PatternOptimum;
-use resilience::sweep::{SweepCell, SweepSpec, Theorem};
+use resilience::sweep::{CellName, SweepCell, SweepSpec, Theorem};
+use std::ops::Range;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc};
 
@@ -52,8 +64,8 @@ pub struct SimSettings {
 pub struct CellResult {
     /// Position in the spec's expansion order.
     pub index: usize,
-    /// Point name from the spec.
-    pub name: String,
+    /// Point name from the spec (lazy; render with `to_string()`).
+    pub name: CellName,
     /// Theorem optimized in this cell.
     pub theorem: Theorem,
     /// Closed-form optimum at this cell's (platform, costs).
@@ -70,6 +82,56 @@ pub fn cell_seed(base: u64, index: u64) -> u64 {
     z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
     z ^ (z >> 31)
+}
+
+/// Largest dispatch chunk, in cells. Bounds both tail imbalance and the
+/// size of one in-flight result block.
+const MAX_CHUNK: usize = 1_024;
+/// Analytic chunk sizing aims for this many chunks per worker, so the
+/// atomic-cursor tail stays balanced without shrinking chunks enough for
+/// per-chunk overhead to matter.
+const CHUNKS_PER_WORKER: usize = 8;
+
+/// Cells per dispatch chunk. Simulated sweeps keep per-cell stealing (one
+/// expensive cell must never stall a chunk's worth of cheap ones); analytic
+/// sweeps batch hard, since a cell costs microseconds and the channel send
+/// plus reorder slot would otherwise dominate.
+fn chunk_size(total: usize, workers: usize, sim: Option<SimSettings>) -> usize {
+    if sim.is_some() {
+        1
+    } else {
+        (total / (workers * CHUNKS_PER_WORKER)).clamp(1, MAX_CHUNK)
+    }
+}
+
+/// One chunk's results in flight: single-cell chunks (simulated sweeps)
+/// travel inline with no heap wrapper — preserving the zero-per-cell-Vec
+/// hygiene of the pre-chunking executor — while analytic chunks carry
+/// their whole block in one Vec. The size imbalance is deliberate: boxing
+/// `One` would put the per-cell allocation right back, and a ~300-byte
+/// channel message is cheaper than a heap round-trip per simulated cell.
+#[allow(clippy::large_enum_variant)]
+enum Block {
+    One(CellResult),
+    Many(Vec<CellResult>),
+}
+
+impl Block {
+    fn emit_into(self, emit: &mut impl FnMut(CellResult)) -> usize {
+        match self {
+            Block::One(r) => {
+                emit(r);
+                1
+            }
+            Block::Many(rs) => {
+                let n = rs.len();
+                for r in rs {
+                    emit(r);
+                }
+                n
+            }
+        }
+    }
 }
 
 /// Sweep executor: a worker count and a shared optimum cache. Cheap to
@@ -102,8 +164,19 @@ impl SweepExecutor {
 
     /// Runs the sweep and collects all results, ordered by cell index.
     pub fn run(&self, spec: &SweepSpec, sim: Option<SimSettings>) -> Vec<CellResult> {
-        let mut out = Vec::with_capacity(spec.len());
-        self.run_streaming(spec, sim, |r| out.push(r));
+        self.run_range(spec, 0..spec.len(), sim)
+    }
+
+    /// Runs one index sub-range of the sweep and collects its results,
+    /// ordered by cell index.
+    pub fn run_range(
+        &self,
+        spec: &SweepSpec,
+        range: Range<usize>,
+        sim: Option<SimSettings>,
+    ) -> Vec<CellResult> {
+        let mut out = Vec::with_capacity(range.len());
+        self.run_streaming_range(spec, range, sim, |r| out.push(r));
         out
     }
 
@@ -121,65 +194,98 @@ impl SweepExecutor {
         &self,
         spec: &SweepSpec,
         sim: Option<SimSettings>,
+        emit: impl FnMut(CellResult),
+    ) {
+        self.run_streaming_range(spec, 0..spec.len(), sim, emit);
+    }
+
+    /// Runs the cells of `range` (a sub-range of `0..spec.len()`), invoking
+    /// `emit` once per cell in increasing cell index. This is the shard
+    /// primitive: cell `i`'s result depends only on `(spec, sim, i)`, so a
+    /// partition of `0..len` across N processes, concatenated in order, is
+    /// byte-identical to one unsharded run.
+    ///
+    /// # Panics
+    /// Panics when `range` exceeds `0..spec.len()`.
+    pub fn run_streaming_range(
+        &self,
+        spec: &SweepSpec,
+        range: Range<usize>,
+        sim: Option<SimSettings>,
         mut emit: impl FnMut(CellResult),
     ) {
-        let cells = spec.cells();
-        let workers = self.threads.min(cells.len()).max(1);
+        let total = range.len();
+        let workers = self.threads.min(total).max(1);
         if workers == 1 {
-            for cell in &cells {
+            for cell in spec.iter_range(range) {
                 emit(self.eval(cell, sim));
             }
             return;
         }
 
-        // Shared-queue work stealing: `cursor` is the queue head; an idle
-        // worker steals the next cell with one fetch_add. Results flow back
-        // over a channel; workers borrow cells in place (no per-cell clone —
-        // only the result's name String is ever copied). A reorder buffer
-        // preallocated from the cell count restores cell order with O(1)
-        // slot indexing, so the million-cell path allocates nothing per
-        // cell on the receiving side either.
+        // Chunked dispatch: `cursor` indexes *chunks*; an idle worker
+        // claims the next contiguous cell range with one fetch_add, streams
+        // the spec over it, and sends the whole block back at once. The
+        // receiving side keeps one preallocated reorder slot per chunk —
+        // for a million analytic cells that is ~1k slots and ~1k channel
+        // sends, not a million of each.
+        let chunk = chunk_size(total, workers, sim);
+        let n_chunks = total.div_ceil(chunk);
+        let (start, end) = (range.start, range.end);
         let cursor = AtomicUsize::new(0);
-        let (tx, rx) = mpsc::channel::<CellResult>();
+        let (tx, rx) = mpsc::channel::<(usize, Block)>();
         std::thread::scope(|scope| {
             for _ in 0..workers {
                 let tx = tx.clone();
                 let cursor = &cursor;
-                let cells = &cells;
                 scope.spawn(move || loop {
-                    let i = cursor.fetch_add(1, Ordering::Relaxed);
-                    let Some(cell) = cells.get(i) else { break };
-                    if tx.send(self.eval(cell, sim)).is_err() {
+                    let c = cursor.fetch_add(1, Ordering::Relaxed);
+                    if c >= n_chunks {
+                        break;
+                    }
+                    let lo = start + c * chunk;
+                    let hi = (lo + chunk).min(end);
+                    let block = if hi - lo == 1 {
+                        Block::One(self.eval(spec.cell_at(lo), sim))
+                    } else {
+                        let mut rs = Vec::with_capacity(hi - lo);
+                        for cell in spec.iter_range(lo..hi) {
+                            rs.push(self.eval(cell, sim));
+                        }
+                        Block::Many(rs)
+                    };
+                    if tx.send((c, block)).is_err() {
                         break;
                     }
                 });
             }
             drop(tx);
 
-            let mut pending: Vec<Option<CellResult>> = Vec::new();
-            pending.resize_with(cells.len(), || None);
+            let mut pending: Vec<Option<Block>> = Vec::new();
+            pending.resize_with(n_chunks, || None);
             let mut next = 0usize;
-            for result in rx {
-                let slot = result.index;
-                pending[slot] = Some(result);
-                while next < pending.len() {
-                    let Some(r) = pending[next].take() else { break };
-                    emit(r);
+            let mut emitted = 0usize;
+            for (c, block) in rx {
+                pending[c] = Some(block);
+                while next < n_chunks {
+                    let Some(block) = pending[next].take() else {
+                        break;
+                    };
+                    emitted += block.emit_into(&mut emit);
                     next += 1;
                 }
             }
             assert!(
-                next == cells.len(),
-                "executor lost cells: emitted {next} of {}",
-                cells.len()
+                emitted == total,
+                "executor lost cells: emitted {emitted} of {total}"
             );
         });
     }
 
     /// Evaluates one cell: memoized optimum, then the optional simulation
-    /// with the cell-derived seed. Borrows the cell — the only per-cell
-    /// allocation is the result's own name.
-    fn eval(&self, cell: &SweepCell, sim: Option<SimSettings>) -> CellResult {
+    /// with the cell-derived seed. Consumes the cell — its lazy name moves
+    /// into the result, so evaluation allocates nothing per cell.
+    fn eval(&self, cell: SweepCell, sim: Option<SimSettings>) -> CellResult {
         let optimum = self
             .cache
             .optimum(&cell.platform, &cell.costs, cell.theorem);
@@ -199,7 +305,7 @@ impl SweepExecutor {
         });
         CellResult {
             index: cell.index,
-            name: cell.name.clone(),
+            name: cell.name,
             theorem: cell.theorem,
             optimum,
             report,
@@ -228,12 +334,40 @@ mod tests {
     }
 
     #[test]
+    fn chunk_sizes_balance_analytic_runs_and_isolate_simulated_cells() {
+        let sim = Some(SimSettings {
+            replications: 10,
+            threads_per_cell: 1,
+            seed: 0,
+            backend: Backend::Event,
+        });
+        assert_eq!(chunk_size(1_000_000, 8, sim), 1, "simulated cells steal");
+        assert_eq!(chunk_size(1_000_000, 8, None), MAX_CHUNK);
+        assert_eq!(chunk_size(1_000, 8, None), 1_000 / (8 * CHUNKS_PER_WORKER));
+        assert_eq!(chunk_size(12, 8, None), 1, "tiny sweeps still dispatch");
+    }
+
+    #[test]
     fn streaming_emits_in_cell_order() {
         let spec = small_spec();
         let exec = SweepExecutor::new(8);
         let mut indices = Vec::new();
         exec.run_streaming(&spec, None, |r| indices.push(r.index));
         assert_eq!(indices, (0..spec.len()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn range_runs_cover_a_partition_exactly() {
+        let spec = small_spec();
+        let exec = SweepExecutor::new(4);
+        let full = exec.run(&spec, None);
+        let mut parts = Vec::new();
+        for shard in 0..3 {
+            let lo = spec.len() * shard / 3;
+            let hi = spec.len() * (shard + 1) / 3;
+            parts.extend(exec.run_range(&spec, lo..hi, None));
+        }
+        assert_eq!(parts, full, "shard concatenation must reproduce the run");
     }
 
     #[test]

@@ -53,6 +53,64 @@ fn sharded_grid_is_byte_identical_to_serial_over_1000_cells() {
 }
 
 #[test]
+fn shard_ranges_concatenate_to_the_full_grid() {
+    // The cross-process sharding primitive: a partition of the cell index
+    // range, each slice run by its own executor (fresh cache — nothing
+    // shared between "processes"), concatenated in order, must render the
+    // same bytes as one unsharded run.
+    let spec = grid_spec(10);
+    let full: Vec<String> = SweepExecutor::new(4)
+        .run(&spec, None)
+        .iter()
+        .map(render)
+        .collect();
+    let n = 4;
+    let mut concat = Vec::new();
+    for shard in 0..n {
+        let lo = spec.len() * shard / n;
+        let hi = spec.len() * (shard + 1) / n;
+        let exec = SweepExecutor::new(4);
+        concat.extend(exec.run_range(&spec, lo..hi, None).iter().map(render));
+    }
+    assert_eq!(concat, full, "shard concatenation must be byte-identical");
+}
+
+#[test]
+fn threaded_grid_preserves_exact_query_totals() {
+    // Chunked dispatch must not lose or duplicate cache queries: every
+    // cell queries exactly once, and the distinct-entry count is the
+    // grid's 190 distinct optimizer inputs regardless of scheduling.
+    let spec = grid_spec(10);
+    let exec = SweepExecutor::new(8);
+    exec.run(&spec, None);
+    let stats = exec.cache().stats();
+    assert_eq!(stats.hits + stats.misses, 1_000);
+    assert_eq!(stats.entries, 190);
+}
+
+#[test]
+#[ignore = "million-cell smoke: run with --release (cargo test --release -- --ignored)"]
+fn million_cell_grid_is_deterministic_across_scheduling() {
+    // The 100³ grid: serial, threaded, and a 4-way shard partition must
+    // agree cell for cell. ~10⁶ theorem-4 optimizations per pass — debug
+    // builds take minutes, hence the ignore gate.
+    let spec = grid_spec(100);
+    assert_eq!(spec.len(), 1_000_000);
+    let exec = SweepExecutor::new(8);
+    let threaded = exec.run(&spec, None);
+    let serial = exec.run_serial(&spec, None);
+    assert_eq!(threaded.len(), 1_000_000);
+    assert_eq!(threaded, serial, "threaded 100³ grid must match serial");
+    let mut concat = Vec::new();
+    for shard in 0..4 {
+        let lo = spec.len() * shard / 4;
+        let hi = spec.len() * (shard + 1) / 4;
+        concat.extend(SweepExecutor::new(8).run_range(&spec, lo..hi, None));
+    }
+    assert_eq!(concat, serial, "sharded 100³ grid must match serial");
+}
+
+#[test]
 fn optimum_cache_collapses_the_grid_repeats() {
     // The grid's geometric axes repeat platform rates bit-exactly, so a
     // single serial pass must already hit: 10×10 (nodes, mtbf) pairs share
