@@ -5,7 +5,7 @@
 //! resilience-cli [sweep|nodes|mtbf|recall|grid|bench]
 //!                [--reps N] [--threads N] [--seed S] [--grid-size K]
 //!                [--shard I/N] [--engine event|batch|simd|auto]
-//!                [--bench-out PATH] [--guard]
+//!                [--bench-out PATH] [--guard] [--sweep-only]
 //! ```
 //!
 //! * `sweep`  — the three reference scenarios × Theorems 1–4 (default);
@@ -18,9 +18,13 @@
 //! * `bench`  — the engine bench matrix (one large single-cell headline run
 //!   plus every engine × every named scenario) and the analytic
 //!   sweep-throughput section (cells/sec over the 10³ and 100³ grids,
-//!   serial vs threaded), recorded as `BENCH_engines.json`. `--guard`
-//!   turns the headline speedups and the sweep-throughput floors into a CI
-//!   gate (nonzero exit + GitHub error annotation when missed).
+//!   serial vs threaded), recorded as `BENCH_engines.json` together with
+//!   the host context (`available_parallelism`, workers actually used).
+//!   `--guard` turns the headline speedups and the sweep-throughput floors
+//!   into a CI gate (nonzero exit + GitHub error annotation when missed);
+//!   on multicore hosts the threaded 100³ sweep must also beat serial
+//!   outright. `--sweep-only` skips the engine matrix and runs (and
+//!   guards) just the sweep-throughput section — the cheap CI smoke.
 //!
 //! Every sweep command expands a `SweepSpec` and shards its cells over
 //! `--threads` workers; results stream back in deterministic cell order, so
@@ -63,14 +67,18 @@ const GRID_SIM_MAX: usize = 10;
 /// (the simd floor applies only where the AVX2 path can run).
 const MIN_BATCH_OVER_EVENT: f64 = 3.0;
 const MIN_SIMD_OVER_BATCH: f64 = 1.3;
-/// Sweep-throughput guard floor: analytic cells/sec the threaded 100³
-/// grid must sustain (deliberately far below the ~10⁶ cells/sec a laptop
-/// reaches, so only a structural regression — per-cell allocation creeping
-/// back in, dispatch overhead, lock contention — trips it, not a noisy CI
-/// neighbor). Threaded losing to serial at million-cell scale on a
-/// multicore host additionally raises a warning annotation (not a
-/// failure: runner core counts vary too much for a hard 1.0× gate).
+/// Sweep-throughput guard floors: analytic cells/sec the threaded 100³
+/// grid must sustain. On a multicore host the partitioned thread-local
+/// path must clear 2M cells/s — a real scaling bar, though still well
+/// under what it measures on dedicated hardware, so noisy CI neighbors
+/// don't decide the build. Single-core hosts (where "threaded" time-slices
+/// one core) keep the original structural floor, which only trips when
+/// per-cell allocation, dispatch overhead, or lock contention creeps back
+/// in. Threaded losing to serial on a multicore host is a hard failure:
+/// with thread-local caches and per-worker buffers there is no remaining
+/// excuse for parallelism costing throughput.
 const MIN_SWEEP_CELLS_PER_SEC: f64 = 50_000.0;
+const MIN_SWEEP_CELLS_PER_SEC_MULTICORE: f64 = 2_000_000.0;
 const MIN_SWEEP_THREADED_OVER_SERIAL: f64 = 1.0;
 
 /// All engines the bench exercises, in reporting order.
@@ -89,6 +97,9 @@ struct Args {
     engine: Backend,
     bench_out: String,
     guard: bool,
+    /// `bench --sweep-only`: skip the engine matrix and run (and guard)
+    /// only the analytic sweep-throughput section — the cheap CI smoke.
+    sweep_only: bool,
 }
 
 fn parse_args() -> Args {
@@ -102,6 +113,7 @@ fn parse_args() -> Args {
         engine: Backend::Auto,
         bench_out: "BENCH_engines.json".to_string(),
         guard: false,
+        sweep_only: false,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -127,6 +139,7 @@ fn parse_args() -> Args {
             }
             "--bench-out" => args.bench_out = take_value(&argv, &mut i),
             "--guard" => args.guard = true,
+            "--sweep-only" => args.sweep_only = true,
             "--help" | "-h" => {
                 // Through out(), not println!: `--help | head` must exit
                 // quietly instead of panicking on the closed pipe.
@@ -134,7 +147,7 @@ fn parse_args() -> Args {
                     "usage: resilience-cli [sweep|nodes|mtbf|recall|grid|bench]\n\
                      \x20                     [--reps N] [--threads N] [--seed S] [--grid-size K]\n\
                      \x20                     [--shard I/N] [--engine event|batch|simd|auto]\n\
-                     \x20                     [--bench-out PATH] [--guard]\n\
+                     \x20                     [--bench-out PATH] [--guard] [--sweep-only]\n\
                      \n\
                      \x20 sweep    reference scenarios x theorems 1-4 (default)\n\
                      \x20 nodes    node-count sweep, theorem 4\n\
@@ -149,7 +162,11 @@ fn parse_args() -> Args {
                      \n\
                      \x20 --reps N       Monte-Carlo replications per cell (>= 1; default {DEFAULT_REPS};\n\
                      \x20                grid: only up to --grid-size {GRID_SIM_MAX})\n\
-                     \x20 --threads N    sweep worker threads (clamped to 4x machine parallelism)\n\
+                     \x20 --threads N    sweep worker threads (clamped to 4x machine parallelism;\n\
+                     \x20                analytic sweeps clamp to the parallelism itself — extra\n\
+                     \x20                workers only duplicate optimizer work; 1 takes the inline\n\
+                     \x20                serial path with no pool; a stderr note reports the\n\
+                     \x20                effective count when clamped)\n\
                      \x20 --seed S       base seed; per-cell streams derive from it\n\
                      \x20 --grid-size K  grid axis length, 1..={GRID_AXIS_MAX} (default {GRID_SIM_MAX};\n\
                      \x20                analytic-only above {GRID_SIM_MAX})\n\
@@ -164,8 +181,10 @@ fn parse_args() -> Args {
                      \x20                annotation) when headline speedups fall below\n\
                      \x20                batch >= {MIN_BATCH_OVER_EVENT}x event or simd >= {MIN_SIMD_OVER_BATCH}x batch (AVX2 hosts),\n\
                      \x20                or threaded 100^3 analytic throughput falls below\n\
-                     \x20                {MIN_SWEEP_CELLS_PER_SEC} cells/s (threaded losing to serial\n\
-                     \x20                on a multicore host is a warning annotation)"
+                     \x20                {MIN_SWEEP_CELLS_PER_SEC} cells/s ({MIN_SWEEP_CELLS_PER_SEC_MULTICORE} cells/s on multicore\n\
+                     \x20                hosts, where threaded losing to serial is also an error)\n\
+                     \x20 --sweep-only   bench only: skip the engine matrix; measure (and with\n\
+                     \x20                --guard, gate) only the analytic sweep throughput"
                 ));
                 std::process::exit(0);
             }
@@ -206,6 +225,9 @@ fn validate(args: &mut Args) {
     }
     if args.shard.is_some() && args.command == "bench" {
         die("--shard applies to sweep commands, not bench");
+    }
+    if args.sweep_only && args.command != "bench" {
+        die("--sweep-only applies to bench, not sweep commands");
     }
 }
 
@@ -414,11 +436,23 @@ fn time_sweep(spec: &SweepSpec, threads: usize) -> f64 {
     secs
 }
 
+/// The host's detected parallelism (1 when undetectable). Recorded in the
+/// bench JSON so a throughput trajectory can be read against the hardware
+/// that produced it, and used to decide whether threaded-vs-serial scaling
+/// is a meaningful (guardable) measurement at all.
+fn host_parallelism() -> usize {
+    std::thread::available_parallelism().map_or(1, |p| p.get())
+}
+
 /// One grid's sweep-throughput measurement.
 struct SweepBench {
     label: &'static str,
     cells: usize,
+    /// Worker threads requested for the threaded pass (`--threads`).
     threads: usize,
+    /// Worker threads the executor actually ran (requested, clamped to the
+    /// cell count) — the host-context number the JSON records per section.
+    workers_used: usize,
     serial_secs: f64,
     threaded_secs: f64,
 }
@@ -429,6 +463,126 @@ impl SweepBench {
     }
     fn threaded_cells_per_sec(&self) -> f64 {
         self.cells as f64 / self.threaded_secs
+    }
+}
+
+/// Worker threads for an *analytic* sweep: the request clamped to the
+/// host's parallelism. Analytic workers are uniformly loaded and purely
+/// CPU-bound, so oversubscribing cores cannot help — it only adds context
+/// switching and duplicate optimizer work across thread-local caches (the
+/// 4× [`thread_cap`] oversubscription headroom exists for *simulated*
+/// sweeps, whose cells have uneven costs worth stealing around). On a
+/// single-core host this resolves to 1, which takes the executor's inline
+/// serial path — no pool at all.
+fn analytic_threads(requested: usize) -> usize {
+    requested.min(host_parallelism()).max(1)
+}
+
+/// Measures the analytic sweep-throughput section (table rows on stdout):
+/// serial vs threaded passes over the 10³ and 100³ grids.
+fn bench_sweeps(args: &Args) -> Vec<SweepBench> {
+    let sweep_fmt = TableFormat::new()
+        .col("sweep", 12, Align::Left)
+        .col("cells", 9, Align::Right)
+        .col("mode", 8, Align::Left)
+        .col("threads", 7, Align::Right)
+        .col("seconds", 9, Align::Right)
+        .col("cells/s", 12, Align::Right);
+    out(&sweep_fmt.header());
+    out(&sweep_fmt.rule());
+    let mut sweeps = Vec::new();
+    // The 10³ grid is over in a millisecond — take the best of the usual
+    // passes. The 10⁶-cell grid is seconds per pass and largely
+    // self-averaging, but the guard compares its serial and threaded
+    // times against a hard floor, so take the best of two passes each to
+    // keep one unlucky scheduling interval from deciding the build.
+    let worker_threads = analytic_threads(args.threads);
+    for (label, per_axis, passes) in [("grid-10^3", 10usize, BENCH_PASSES), ("grid-100^3", 100, 2)]
+    {
+        let spec = grid_spec(per_axis);
+        let best = |threads: usize| {
+            (0..passes)
+                .map(|_| time_sweep(&spec, threads))
+                .fold(f64::INFINITY, f64::min)
+        };
+        let bench = SweepBench {
+            label,
+            cells: spec.len(),
+            threads: args.threads,
+            workers_used: SweepExecutor::new(worker_threads).effective_workers(spec.len()),
+            serial_secs: best(1),
+            threaded_secs: best(worker_threads),
+        };
+        for (mode, threads, secs) in [
+            ("serial", 1, bench.serial_secs),
+            ("threaded", bench.workers_used, bench.threaded_secs),
+        ] {
+            out(&sweep_fmt.row(&[
+                label.to_string(),
+                bench.cells.to_string(),
+                mode.to_string(),
+                threads.to_string(),
+                format!("{secs:.3}"),
+                format!("{:.0}", bench.cells as f64 / secs),
+            ]));
+        }
+        sweeps.push(bench);
+    }
+    sweeps
+}
+
+/// JSON fragments for the `sweep_throughput` array, one per grid.
+fn sweep_json_entries(sweeps: &[SweepBench]) -> Vec<String> {
+    sweeps
+        .iter()
+        .map(|s| {
+            format!(
+                "    {{\n      \"grid\": \"{}\",\n      \"cells\": {},\n      \"threads\": {},\n      \"workers_used\": {},\n      \"serial_seconds\": {:.6},\n      \"serial_cells_per_sec\": {:.0},\n      \"threaded_seconds\": {:.6},\n      \"threaded_cells_per_sec\": {:.0},\n      \"speedup_threaded_over_serial\": {:.2}\n    }}",
+                s.label,
+                s.cells,
+                s.threads,
+                s.workers_used,
+                s.serial_secs,
+                s.cells as f64 / s.serial_secs,
+                s.threaded_secs,
+                s.threaded_cells_per_sec(),
+                s.speedup()
+            )
+        })
+        .collect()
+}
+
+/// `bench --sweep-only`: the analytic sweep-throughput section alone —
+/// the cheap CI smoke that exercises the threaded sweep path (and its
+/// guard floors) without paying for the engine matrix.
+fn run_sweep_bench_only(args: &Args) {
+    let sweeps = bench_sweeps(args);
+    let json = format!(
+        "{{\n  \"benchmark\": \"analytic sweep throughput\",\n  \"seed\": {},\n  \"threads\": {},\n  \"available_parallelism\": {},\n  \"simd_supported\": {},\n  \"sweep_throughput\": [\n{}\n  ]\n}}\n",
+        args.seed,
+        args.threads,
+        host_parallelism(),
+        SimdEngine::runtime_supported(),
+        sweep_json_entries(&sweeps).join(",\n"),
+    );
+    if let Err(e) = std::fs::write(&args.bench_out, json) {
+        die(&format!("cannot write {}: {e}", args.bench_out));
+    }
+    let big = sweeps.last().expect("at least one sweep bench");
+    eprintln!(
+        "bench --sweep-only: analytic {}: {:.0} cells/s threaded ({:.2}x serial, {} workers); \
+         wrote {}",
+        big.label,
+        big.threaded_cells_per_sec(),
+        big.speedup(),
+        big.workers_used,
+        args.bench_out
+    );
+    if args.guard {
+        if guard_sweep(big) {
+            std::process::exit(1);
+        }
+        eprintln!("bench guard: sweep floors held ({})", sweep_guard_note(big));
     }
 }
 
@@ -499,6 +653,10 @@ fn engine_json(backend: Backend, secs: f64, reps: u64, indent: usize) -> String 
 /// `bench_out` so CI can archive the trajectory. With `--guard`, missed
 /// headline speedup floors fail the run with a GitHub error annotation.
 fn run_bench(args: &Args) {
+    if args.sweep_only {
+        run_sweep_bench_only(args);
+        return;
+    }
     let reps = args.reps.unwrap_or(DEFAULT_BENCH_REPS);
     let matrix_reps = (reps / MATRIX_REPS_DIVISOR).max(1);
     let mut scenarios = reference_scenarios();
@@ -549,79 +707,22 @@ fn run_bench(args: &Args) {
         ));
     }
 
-    // Sweep throughput: the analytic hot path (streaming expansion, sharded
-    // cache, chunked dispatch) at 10³ and 10⁶ cells, serial vs threaded.
-    let sweep_fmt = TableFormat::new()
-        .col("sweep", 12, Align::Left)
-        .col("cells", 9, Align::Right)
-        .col("mode", 8, Align::Left)
-        .col("threads", 7, Align::Right)
-        .col("seconds", 9, Align::Right)
-        .col("cells/s", 12, Align::Right);
-    out(&sweep_fmt.header());
-    out(&sweep_fmt.rule());
-    let mut sweeps = Vec::new();
-    // The 10³ grid is over in a millisecond — take the best of the usual
-    // passes. The 10⁶-cell grid is seconds per pass and largely
-    // self-averaging, but the guard compares its serial and threaded
-    // times against a hard floor, so take the best of two passes each to
-    // keep one unlucky scheduling interval from deciding the build.
-    for (label, per_axis, passes) in [("grid-10^3", 10usize, BENCH_PASSES), ("grid-100^3", 100, 2)]
-    {
-        let spec = grid_spec(per_axis);
-        let best = |threads: usize| {
-            (0..passes)
-                .map(|_| time_sweep(&spec, threads))
-                .fold(f64::INFINITY, f64::min)
-        };
-        let bench = SweepBench {
-            label,
-            cells: spec.len(),
-            threads: args.threads,
-            serial_secs: best(1),
-            threaded_secs: best(args.threads),
-        };
-        for (mode, threads, secs) in [
-            ("serial", 1, bench.serial_secs),
-            ("threaded", bench.threads, bench.threaded_secs),
-        ] {
-            out(&sweep_fmt.row(&[
-                label.to_string(),
-                bench.cells.to_string(),
-                mode.to_string(),
-                threads.to_string(),
-                format!("{secs:.3}"),
-                format!("{:.0}", bench.cells as f64 / secs),
-            ]));
-        }
-        sweeps.push(bench);
-    }
-    let sweep_json: Vec<String> = sweeps
-        .iter()
-        .map(|s| {
-            format!(
-                "    {{\n      \"grid\": \"{}\",\n      \"cells\": {},\n      \"threads\": {},\n      \"serial_seconds\": {:.6},\n      \"serial_cells_per_sec\": {:.0},\n      \"threaded_seconds\": {:.6},\n      \"threaded_cells_per_sec\": {:.0},\n      \"speedup_threaded_over_serial\": {:.2}\n    }}",
-                s.label,
-                s.cells,
-                s.threads,
-                s.serial_secs,
-                s.cells as f64 / s.serial_secs,
-                s.threaded_secs,
-                s.threaded_cells_per_sec(),
-                s.speedup()
-            )
-        })
-        .collect();
+    // Sweep throughput: the analytic hot path (streaming expansion,
+    // thread-local caches, SIMD theorem-4 batching) at 10³ and 10⁶ cells,
+    // serial vs threaded.
+    let sweeps = bench_sweeps(args);
+    let sweep_json = sweep_json_entries(&sweeps);
 
     let engines_json: Vec<String> = headline
         .iter()
         .map(|&(b, secs)| engine_json(b, secs, reps, 4))
         .collect();
     let json = format!(
-        "{{\n  \"benchmark\": \"single-cell {} {} optimum\",\n  \"replications\": {reps},\n  \"seed\": {},\n  \"threads\": 1,\n  \"simd_supported\": {},\n  \"engines\": [\n{}\n  ],\n  \"speedup_batch_over_event\": {batch_over_event:.2},\n  \"speedup_simd_over_batch\": {simd_over_batch:.2},\n  \"matrix\": [\n{}\n  ],\n  \"sweep_throughput\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"benchmark\": \"single-cell {} {} optimum\",\n  \"replications\": {reps},\n  \"seed\": {},\n  \"threads\": 1,\n  \"available_parallelism\": {},\n  \"simd_supported\": {},\n  \"engines\": [\n{}\n  ],\n  \"speedup_batch_over_event\": {batch_over_event:.2},\n  \"speedup_simd_over_batch\": {simd_over_batch:.2},\n  \"matrix\": [\n{}\n  ],\n  \"sweep_throughput\": [\n{}\n  ]\n}}\n",
         headline_scenario.name,
         Theorem::Four.label(),
         args.seed,
+        host_parallelism(),
         SimdEngine::runtime_supported(),
         engines_json.join(",\n"),
         matrix_json.join(",\n"),
@@ -651,12 +752,6 @@ fn run_bench(args: &Args) {
 /// headline speedups or the million-cell analytic sweep throughput regress
 /// below the hard floors. The simd floor applies only where the AVX2 path
 /// can actually run; elsewhere the scalar fallback is informational.
-/// Threaded-beats-serial is a *warning* annotation, not a failure: it is
-/// only meaningful when the bench actually ran threaded (`--threads 1`
-/// makes the two runs the same measurement) on a host with more than one
-/// core, and core counts on shared runners vary too much to let a 1.0×
-/// ratio decide the build — the hard cells/sec floor is the structural
-/// regression gate.
 fn guard_speedups(batch_over_event: f64, simd_over_batch: f64, sweep: &SweepBench) {
     let mut failed = false;
     if batch_over_event < MIN_BATCH_OVER_EVENT {
@@ -673,42 +768,85 @@ fn guard_speedups(batch_over_event: f64, simd_over_batch: f64, sweep: &SweepBenc
         );
         failed = true;
     }
-    if sweep.threaded_cells_per_sec() < MIN_SWEEP_CELLS_PER_SEC {
+    failed |= guard_sweep(sweep);
+    if failed {
+        std::process::exit(1);
+    }
+    eprintln!(
+        "bench guard: floors held (batch >= {MIN_BATCH_OVER_EVENT}x event, \
+         simd >= {MIN_SIMD_OVER_BATCH}x batch, {})",
+        sweep_guard_note(sweep)
+    );
+}
+
+/// Whether the threaded-vs-serial comparison is a meaningful measurement:
+/// the bench actually ran threaded (`--threads 1` makes the two runs the
+/// same measurement) on a host with more than one core (time-slicing one
+/// core can only add overhead, not speed).
+fn sweep_scaling_checked(sweep: &SweepBench) -> bool {
+    sweep.workers_used > 1 && host_parallelism() > 1
+}
+
+/// The sweep-throughput floor that applies on this host. Multicore hosts
+/// must clear the real scaling bar; single-core hosts (or `--threads 1`
+/// benches) keep the structural floor that only trips when per-cell
+/// allocation, dispatch overhead, or lock contention creeps back in.
+fn sweep_floor(sweep: &SweepBench) -> f64 {
+    if sweep_scaling_checked(sweep) {
+        MIN_SWEEP_CELLS_PER_SEC_MULTICORE
+    } else {
+        MIN_SWEEP_CELLS_PER_SEC
+    }
+}
+
+/// Sweep-throughput floors for one grid; returns whether the build must
+/// fail. On a multicore host running threaded, threaded losing to serial
+/// is a hard failure: with thread-local caches and per-worker result
+/// buffers, parallelism costing throughput is a structural regression,
+/// not runner noise.
+fn guard_sweep(sweep: &SweepBench) -> bool {
+    let mut failed = false;
+    let floor = sweep_floor(sweep);
+    if sweep.threaded_cells_per_sec() < floor {
         println!(
             "::error title=sweep throughput regression::threaded {} analytic sweep ran at \
-             {:.0} cells/s (floor {MIN_SWEEP_CELLS_PER_SEC} cells/s)",
+             {:.0} cells/s (floor {floor:.0} cells/s on this host)",
             sweep.label,
             sweep.threaded_cells_per_sec()
         );
         failed = true;
     }
-    let multicore = std::thread::available_parallelism().is_ok_and(|p| p.get() > 1);
-    let scaling_checked = sweep.threads > 1 && multicore;
-    if scaling_checked && sweep.speedup() < MIN_SWEEP_THREADED_OVER_SERIAL {
+    if sweep_scaling_checked(sweep) && sweep.speedup() < MIN_SWEEP_THREADED_OVER_SERIAL {
         println!(
-            "::warning title=sweep scaling::threaded {} analytic sweep is only {:.2}x serial \
-             on a multicore host (expected >= {MIN_SWEEP_THREADED_OVER_SERIAL}x)",
+            "::error title=sweep scaling regression::threaded {} analytic sweep is only \
+             {:.2}x serial on a multicore host ({} workers, floor \
+             {MIN_SWEEP_THREADED_OVER_SERIAL}x)",
             sweep.label,
-            sweep.speedup()
+            sweep.speedup(),
+            sweep.workers_used
         );
+        failed = true;
     }
-    if failed {
-        std::process::exit(1);
-    }
-    // Name only what was actually enforced: on a single-core host (or a
-    // --threads 1 bench) the threaded-vs-serial ratio was never checked,
-    // and saying so avoids "floors held" covering an unexamined number.
-    let scaling_note = if scaling_checked {
-        format!(", threaded {:.2}x serial checked", sweep.speedup())
+    failed
+}
+
+/// Names what the sweep guard actually enforced: on a single-core host (or
+/// a `--threads 1` bench) the threaded-vs-serial ratio was never checked,
+/// and saying so avoids "floors held" covering an unexamined number.
+fn sweep_guard_note(sweep: &SweepBench) -> String {
+    let scaling = if sweep_scaling_checked(sweep) {
+        format!(
+            ", threaded {:.2}x serial >= {MIN_SWEEP_THREADED_OVER_SERIAL}x checked",
+            sweep.speedup()
+        )
     } else {
         String::from(", threaded-vs-serial not checked on this host")
     };
-    eprintln!(
-        "bench guard: floors held (batch >= {MIN_BATCH_OVER_EVENT}x event, \
-         simd >= {MIN_SIMD_OVER_BATCH}x batch, {} >= {MIN_SWEEP_CELLS_PER_SEC} cells/s \
-         threaded{scaling_note})",
-        sweep.label
-    );
+    format!(
+        "{} >= {:.0} cells/s threaded{scaling}",
+        sweep.label,
+        sweep_floor(sweep)
+    )
 }
 
 fn main() {
@@ -758,7 +896,27 @@ fn main() {
     };
     let shard_cells = range.len();
 
-    let executor = SweepExecutor::new(args.threads);
+    // Analytic sweeps clamp workers to the host's parallelism (see
+    // [`analytic_threads`]); simulated sweeps keep the requested count, up
+    // to the 4× oversubscription cap already applied by `validate`.
+    let worker_threads = if sim.is_none() {
+        analytic_threads(args.threads)
+    } else {
+        args.threads
+    };
+    let executor = SweepExecutor::new(worker_threads);
+    // Say what will actually run whenever it differs from the request, so
+    // `--threads 8` over a 4-cell shard (or a 2-core host) doesn't silently
+    // read as an 8-way measurement.
+    let effective = executor.effective_workers(shard_cells);
+    if effective < args.threads {
+        eprintln!(
+            "resilience-cli: note: using {effective} worker thread(s) of --threads {} \
+             ({shard_cells} cells, host parallelism {})",
+            args.threads,
+            host_parallelism()
+        );
+    }
     print_table(&executor, &spec, range, sim, name_width, with_header);
 
     let cache = executor.cache().stats();

@@ -9,6 +9,22 @@
 //! a result. Hit/miss counters are exposed so sweeps (and tests) can assert
 //! that repeated cells actually skip recomputation.
 //!
+//! Two access disciplines share the store:
+//!
+//! * [`OptimumCache::optimum`] — the shared per-query path (serial sweeps,
+//!   simulated runs): sharded locks, counters bumped per query.
+//! * [`LocalOptimumCache`] — a thread-*local* memo for sweep workers. Each
+//!   worker answers its own queries from a private unlocked map and touches
+//!   the shared cache only to [`LocalOptimumCache::flush`] at block
+//!   boundaries, so the per-cell lock rendezvous disappears entirely. The
+//!   flush reconciles statistics so the merged totals are *deterministic*:
+//!   a query is a **miss** exactly when its entry is new to the shared
+//!   cache at merge time, and a **hit** otherwise — duplicated computation
+//!   across workers (two workers deriving the same optimum privately)
+//!   reclassifies as a hit when the second merge finds the entry present.
+//!   Consequently `misses == distinct keys` and `hits == queries − misses`
+//!   for any worker count and any schedule, matching the serial run.
+//!
 //! Thread-safe and shareable (`Arc<OptimumCache>`), and sharded for
 //! million-cell sweeps: the map is split into [`SHARD_COUNT`] independently
 //! locked shards selected by key hash, so workers querying different keys
@@ -23,7 +39,7 @@ use crate::optimal::PatternOptimum;
 use crate::platform::{CostModel, Platform};
 use crate::sweep::Theorem;
 use std::collections::HashMap;
-use std::hash::{Hash, Hasher};
+use std::hash::{BuildHasherDefault, Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
@@ -69,6 +85,61 @@ impl OptimumKey {
     }
 }
 
+/// Multiplicative word-at-a-time hasher (the FxHash construction) for the
+/// bit-exact [`OptimumKey`]s. A key is seven already-well-mixed f64 bit
+/// patterns plus a discriminant — SipHash's DoS resistance buys nothing
+/// here (keys come from sweep geometry, not untrusted input) while costing
+/// ~10× per query on the sweep hot path. Deterministic within a build, but
+/// *not* part of any pinned output: only shard/bucket placement depends on
+/// it, never a result or a counter.
+#[derive(Default)]
+pub struct KeyHasher(u64);
+
+/// The multiplier of the FxHash mix: the golden-ratio constant.
+const FX_SEED: u64 = 0x517c_c1b7_2722_0a95;
+
+impl Hasher for KeyHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        // Only non-u64 writes land here (the theorem discriminant).
+        for &b in bytes {
+            self.write_u64(u64::from(b));
+        }
+    }
+
+    fn write_u64(&mut self, word: u64) {
+        self.0 = (self.0.rotate_left(5) ^ word).wrapping_mul(FX_SEED);
+    }
+
+    fn write_u8(&mut self, b: u8) {
+        self.write_u64(u64::from(b));
+    }
+
+    fn write_usize(&mut self, n: usize) {
+        self.write_u64(n as u64);
+    }
+
+    fn write_isize(&mut self, n: isize) {
+        self.write_u64(n as u64);
+    }
+
+    fn write_u32(&mut self, n: u32) {
+        self.write_u64(u64::from(n));
+    }
+}
+
+/// Hasher state builder for [`KeyHasher`]-keyed maps.
+pub type KeyHashBuilder = BuildHasherDefault<KeyHasher>;
+
+fn key_hash(key: &OptimumKey) -> u64 {
+    let mut hasher = KeyHasher::default();
+    key.hash(&mut hasher);
+    hasher.finish()
+}
+
 /// Snapshot of cache effectiveness counters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CacheStats {
@@ -86,7 +157,8 @@ pub struct CacheStats {
 /// mutexes when idle.
 pub const SHARD_COUNT: usize = 16;
 
-type Shard = Mutex<HashMap<OptimumKey, PatternOptimum>>;
+type Map = HashMap<OptimumKey, PatternOptimum, KeyHashBuilder>;
+type Shard = Mutex<Map>;
 
 /// Thread-safe memoization of theorem optima, sharded by key hash.
 /// Unbounded: a sweep's working set is its distinct (platform, costs,
@@ -101,7 +173,7 @@ pub struct OptimumCache {
 impl Default for OptimumCache {
     fn default() -> Self {
         Self {
-            shards: std::array::from_fn(|_| Mutex::new(HashMap::new())),
+            shards: std::array::from_fn(|_| Mutex::new(Map::default())),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
         }
@@ -139,6 +211,43 @@ impl OptimumCache {
         opt
     }
 
+    /// Looks up an entry without touching the hit/miss counters — the
+    /// consult path of a [`LocalOptimumCache`], whose statistics are
+    /// reconciled at flush time instead of per query.
+    pub fn lookup(&self, key: &OptimumKey) -> Option<PatternOptimum> {
+        lock(self.shard(key)).get(key).cloned()
+    }
+
+    /// Merges one worker's block of privately computed entries plus its
+    /// query count: each entry new to the shared map counts as a miss, and
+    /// every remaining query as a hit. Entries already present (another
+    /// worker merged first, or the cache was pre-warmed) are dropped — the
+    /// optimizers are pure, so the stored value is bit-identical — which
+    /// is what makes the merged totals schedule-independent: summed over
+    /// all flushes, `misses` is exactly the number of distinct new keys and
+    /// `hits` is `queries − misses`, no matter how cells were partitioned.
+    pub fn merge(
+        &self,
+        entries: impl IntoIterator<Item = (OptimumKey, PatternOptimum)>,
+        queries: u64,
+    ) {
+        let mut new_entries = 0u64;
+        for (key, value) in entries {
+            let mut map = lock(self.shard(&key));
+            if let std::collections::hash_map::Entry::Vacant(slot) = map.entry(key) {
+                slot.insert(value);
+                new_entries += 1;
+            }
+        }
+        debug_assert!(
+            new_entries <= queries,
+            "merged more new entries ({new_entries}) than queries ({queries})"
+        );
+        self.misses.fetch_add(new_entries, Ordering::Relaxed);
+        self.hits
+            .fetch_add(queries.saturating_sub(new_entries), Ordering::Relaxed);
+    }
+
     /// Queries answered without recomputation.
     pub fn hits(&self) -> u64 {
         self.hits.load(Ordering::Relaxed)
@@ -168,21 +277,118 @@ impl OptimumCache {
         }
     }
 
-    /// The shard owning `key`: high bits of the key's (deterministic
-    /// `DefaultHasher`) hash, masked to [`SHARD_COUNT`]. Only shard
-    /// *placement* depends on this hash — results and counters do not, so
-    /// the choice is free to change without affecting any pinned output.
+    /// The shard owning `key`: high bits of the key's [`KeyHasher`] hash,
+    /// masked to [`SHARD_COUNT`]. Only shard *placement* depends on this
+    /// hash — results and counters do not, so the choice is free to change
+    /// without affecting any pinned output.
     fn shard(&self, key: &OptimumKey) -> &Shard {
-        let mut hasher = std::collections::hash_map::DefaultHasher::new();
-        key.hash(&mut hasher);
-        &self.shards[(hasher.finish() as usize) & (SHARD_COUNT - 1)]
+        &self.shards[(key_hash(key) as usize) & (SHARD_COUNT - 1)]
     }
 }
 
 /// Locks one shard, recovering from (unreachable) poisoning: the maps are
 /// only touched under their locks and nothing panics while holding one.
-fn lock(shard: &Shard) -> std::sync::MutexGuard<'_, HashMap<OptimumKey, PatternOptimum>> {
+fn lock(shard: &Shard) -> std::sync::MutexGuard<'_, Map> {
     shard.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// A sweep worker's private, unlocked optimum memo over a shared
+/// [`OptimumCache`].
+///
+/// The worker answers every query from its own map; computed entries
+/// accumulate in a pending list and reach the shared cache only at
+/// [`flush`](Self::flush) (block boundaries and worker exit). The shared
+/// map is consulted per *locally-new* key only when it held entries at
+/// construction time (`consult_shared`) — a cold sweep therefore runs
+/// entirely lock-free, while an executor reusing a warm cache still
+/// benefits from previous runs' optima.
+///
+/// Statistics discipline: [`probe`](Self::probe) counts one query;
+/// [`flush`](Self::flush) reconciles via [`OptimumCache::merge`], so the
+/// shared counters end up schedule-independent (see the module docs).
+#[derive(Debug)]
+pub struct LocalOptimumCache<'a> {
+    shared: &'a OptimumCache,
+    consult_shared: bool,
+    map: HashMap<OptimumKey, PatternOptimum, KeyHashBuilder>,
+    pending: Vec<(OptimumKey, PatternOptimum)>,
+    queries: u64,
+}
+
+impl<'a> LocalOptimumCache<'a> {
+    /// A fresh local memo over `shared`. Captures whether the shared map
+    /// currently holds entries: only then is it consulted on local misses,
+    /// so cold sweeps never touch a lock between flushes.
+    pub fn new(shared: &'a OptimumCache) -> Self {
+        Self {
+            consult_shared: !shared.is_empty(),
+            shared,
+            map: HashMap::default(),
+            pending: Vec::new(),
+            queries: 0,
+        }
+    }
+
+    /// Registers one query for `key` and returns its optimum when already
+    /// known (locally, or adopted from the warm shared cache) — one hash
+    /// lookup answers the query outright, the sweep hot path's common case.
+    /// When this returns `None` the caller computes the optimum and hands
+    /// it back through [`insert_computed`](Self::insert_computed).
+    pub fn probe(&mut self, key: OptimumKey) -> Option<PatternOptimum> {
+        self.queries += 1;
+        if let Some(found) = self.map.get(&key) {
+            return Some(found.clone());
+        }
+        if self.consult_shared {
+            if let Some(found) = self.shared.lookup(&key) {
+                // Adopted, not computed: never re-merged (it is already in
+                // the shared map, so merging it would be a no-op anyway).
+                self.map.insert(key, found.clone());
+                return Some(found);
+            }
+        }
+        None
+    }
+
+    /// Stores a computed optimum for a key previously reported unknown by
+    /// [`probe`](Self::probe). First store wins — callers batching several
+    /// cells between probe and insert may legitimately compute one key
+    /// twice (the optimizers are pure, both values are bit-identical), and
+    /// only the first reaches the pending merge list.
+    pub fn insert_computed(&mut self, key: OptimumKey, optimum: PatternOptimum) {
+        if let std::collections::hash_map::Entry::Vacant(slot) = self.map.entry(key) {
+            slot.insert(optimum.clone());
+            self.pending.push((key, optimum));
+        }
+    }
+
+    /// The locally known optimum for `key`.
+    ///
+    /// # Panics
+    /// Panics when the key was never probed/inserted — a caller sequencing
+    /// bug, not a data condition.
+    pub fn get(&self, key: &OptimumKey) -> PatternOptimum {
+        self.map
+            .get(key)
+            .cloned()
+            .expect("local cache get() of a key that was never resolved")
+    }
+
+    /// Queries registered since the last flush.
+    pub fn pending_queries(&self) -> u64 {
+        self.queries
+    }
+
+    /// Merges pending entries and query counts into the shared cache (see
+    /// [`OptimumCache::merge`]) and resets the pending state. The local
+    /// map keeps its entries — locality is the point.
+    pub fn flush(&mut self) {
+        if self.queries == 0 && self.pending.is_empty() {
+            return;
+        }
+        self.shared.merge(self.pending.drain(..), self.queries);
+        self.queries = 0;
+    }
 }
 
 #[cfg(test)]
@@ -271,5 +477,112 @@ mod tests {
         assert_eq!(stats.hits + stats.misses, 32);
         assert_eq!(stats.entries, 1);
         assert!(stats.hits > 0, "repeated queries must hit");
+    }
+
+    #[test]
+    fn local_cache_reconciles_exact_totals_on_flush() {
+        let shared = OptimumCache::new();
+        let s = &reference_scenarios()[0];
+        let mut local = LocalOptimumCache::new(&shared);
+        let key = OptimumKey::new(&s.platform, &s.costs, Theorem::Four);
+        assert!(local.probe(key).is_none(), "cold key must report unknown");
+        local.insert_computed(key, Theorem::Four.optimize(&s.platform, &s.costs));
+        for _ in 0..9 {
+            assert!(
+                local.probe(key).is_some(),
+                "local repeats must not recompute"
+            );
+        }
+        assert_eq!(local.pending_queries(), 10);
+        // Nothing reaches the shared counters before the flush.
+        assert_eq!(shared.stats().hits + shared.stats().misses, 0);
+        local.flush();
+        let stats = shared.stats();
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.hits, 9);
+        assert_eq!(stats.entries, 1);
+        assert_eq!(local.pending_queries(), 0, "flush resets the query count");
+    }
+
+    #[test]
+    fn duplicate_computation_across_locals_reclassifies_as_hits() {
+        // Two workers privately derive the same optimum: whoever merges
+        // second must contribute a hit, not a second miss, so totals are
+        // schedule-independent.
+        let shared = OptimumCache::new();
+        let s = &reference_scenarios()[0];
+        let key = OptimumKey::new(&s.platform, &s.costs, Theorem::Three);
+        let value = Theorem::Three.optimize(&s.platform, &s.costs);
+        // Both workers start before either flushes (the executor spawns all
+        // locals up front), so both derive the value privately.
+        let mut locals: Vec<_> = (0..2).map(|_| LocalOptimumCache::new(&shared)).collect();
+        for local in &mut locals {
+            assert!(local.probe(key).is_none());
+            local.insert_computed(key, value.clone());
+        }
+        for local in &mut locals {
+            local.flush();
+        }
+        let stats = shared.stats();
+        assert_eq!(stats.misses, 1, "one distinct key, one miss");
+        assert_eq!(stats.hits, 1, "the duplicated derivation is a hit");
+        assert_eq!(stats.entries, 1);
+    }
+
+    #[test]
+    fn warm_shared_cache_is_consulted_and_counted_as_hits() {
+        let shared = OptimumCache::new();
+        let s = &reference_scenarios()[0];
+        // Pre-warm through the per-query path: 1 miss.
+        shared.optimum(&s.platform, &s.costs, Theorem::Two);
+        let key = OptimumKey::new(&s.platform, &s.costs, Theorem::Two);
+        let mut local = LocalOptimumCache::new(&shared);
+        assert_eq!(
+            local.probe(key),
+            Some(Theorem::Two.optimize(&s.platform, &s.costs)),
+            "warm entry must be adopted, not recomputed"
+        );
+        assert_eq!(
+            local.get(&key),
+            Theorem::Two.optimize(&s.platform, &s.costs)
+        );
+        local.flush();
+        let stats = shared.stats();
+        assert_eq!(stats.misses, 1, "pre-warm miss only");
+        assert_eq!(stats.hits, 1, "the adopted query is a hit");
+    }
+
+    #[test]
+    fn cold_local_cache_never_locks_between_flushes() {
+        // Observable contract: with an empty shared cache at construction,
+        // probes of unknown keys return false without consulting shared —
+        // even for keys inserted into shared after construction.
+        let shared = OptimumCache::new();
+        let s = &reference_scenarios()[0];
+        let mut local = LocalOptimumCache::new(&shared);
+        shared.optimum(&s.platform, &s.costs, Theorem::One);
+        let key = OptimumKey::new(&s.platform, &s.costs, Theorem::One);
+        assert!(
+            local.probe(key).is_none(),
+            "cold locals must not observe late shared inserts"
+        );
+    }
+
+    #[test]
+    fn duplicate_insert_within_a_block_keeps_first_value_and_merges_once() {
+        let shared = OptimumCache::new();
+        let s = &reference_scenarios()[0];
+        let key = OptimumKey::new(&s.platform, &s.costs, Theorem::Four);
+        let value = Theorem::Four.optimize(&s.platform, &s.costs);
+        let mut local = LocalOptimumCache::new(&shared);
+        assert!(local.probe(key).is_none());
+        assert!(local.probe(key).is_none(), "unresolved key stays unknown");
+        local.insert_computed(key, value.clone());
+        local.insert_computed(key, value.clone());
+        local.flush();
+        let stats = shared.stats();
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.hits, 1, "both probes counted, one miss");
+        assert_eq!(stats.entries, 1);
     }
 }

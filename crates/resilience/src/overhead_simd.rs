@@ -1,0 +1,429 @@
+//! 8-lane Proposition-3 overhead kernels: the analytic counterpart of the
+//! simulator's wide-SIMD backend.
+//!
+//! A grid sweep evaluates the same closed-form overhead expressions —
+//! [`h2`]/[`h3`] along the Theorem-4 boundaries and the Proposition-3 form
+//! [`h4`] at the boundary/polish candidates — across millions of cells that
+//! differ only in their model parameters. Those expressions are pure
+//! elementwise arithmetic (add/sub/mul/div/sqrt), so eight cells' values
+//! fit in two AVX2 registers per parameter and one pass computes all eight.
+//!
+//! **Bit-exactness contract.** Every kernel mirrors the scalar expression's
+//! operation order term for term, using only exactly-rounded AVX2 ops
+//! (`_mm256_{add,sub,mul,div,sqrt}_pd` are IEEE-754 correctly rounded, and
+//! Rust never enables FMA contraction on intrinsics), so each lane's result
+//! is bit-identical to the scalar path. The scalar fallback *is* the scalar
+//! path: it calls the very functions in [`crate::optimal`] that the serial
+//! sweep uses. `tests/overhead_simd.rs` pins AVX2 against scalar over all
+//! named scenarios and canonical-grid samples.
+//!
+//! Runtime dispatch mirrors `SimdEngine::runtime_supported` in the `sim`
+//! crate: AVX2 is feature-detected once per call (a cached atomic load),
+//! with a `force_scalar` knob so the fallback stays exercised on AVX2
+//! hosts. Branchy scalar decisions (the `λ_s > 0` guard of `m̄₂`, the
+//! `b > 0` clamp of `ū₃`) become compare masks and blends, which select —
+//! never recompute — so they too are bit-identical.
+
+use crate::optimal;
+use crate::platform::{CostModel, Platform};
+
+/// Cells per pass: one AVX2 register pair of f64 lanes.
+pub const LANES: usize = 8;
+
+/// Whether the AVX2 kernels can run on this host. The module itself runs
+/// anywhere — the scalar fallback is bit-identical — this gate only decides
+/// which kernel executes.
+pub fn runtime_supported() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        std::arch::is_x86_feature_detected!("avx2")
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+/// SoA block of up to eight cells' model parameters — one array per field
+/// so a kernel loads each parameter with two contiguous register fills.
+#[derive(Debug, Clone)]
+pub struct LanePack {
+    /// Fail-stop error rate `λ_f` per lane.
+    pub lambda_fail: [f64; LANES],
+    /// Silent error rate `λ_s` per lane.
+    pub lambda_silent: [f64; LANES],
+    /// Checkpoint cost `C` per lane.
+    pub checkpoint: [f64; LANES],
+    /// Guaranteed verification cost `V*` per lane.
+    pub guaranteed_verif: [f64; LANES],
+    /// Partial verification cost `v` per lane.
+    pub partial_verif: [f64; LANES],
+    /// Partial verification recall `r` per lane.
+    pub recall: [f64; LANES],
+    /// The original cells, padded, for the scalar-lane fallback.
+    cells: [(Platform, CostModel); LANES],
+}
+
+impl LanePack {
+    /// Packs `cells` (1 ..= [`LANES`] of them) into SoA lanes, padding short
+    /// groups by replicating the last cell — padding lanes compute on valid
+    /// inputs and the caller simply ignores their outputs.
+    ///
+    /// # Panics
+    /// Panics on an empty or oversized group.
+    pub fn from_cells(cells: &[(Platform, CostModel)]) -> Self {
+        assert!(
+            !cells.is_empty() && cells.len() <= LANES,
+            "lane pack needs 1..={LANES} cells, got {}",
+            cells.len()
+        );
+        let lane = |l: usize| cells[l.min(cells.len() - 1)];
+        Self {
+            lambda_fail: std::array::from_fn(|l| lane(l).0.lambda_fail),
+            lambda_silent: std::array::from_fn(|l| lane(l).0.lambda_silent),
+            checkpoint: std::array::from_fn(|l| lane(l).1.checkpoint),
+            guaranteed_verif: std::array::from_fn(|l| lane(l).1.guaranteed_verif),
+            partial_verif: std::array::from_fn(|l| lane(l).1.partial_verif),
+            recall: std::array::from_fn(|l| lane(l).1.recall),
+            cells: std::array::from_fn(lane),
+        }
+    }
+}
+
+/// Dispatches one kernel: AVX2 when available and not forced off, else the
+/// scalar-lane loop. Every public kernel funnels through this.
+macro_rules! dispatch {
+    ($force_scalar:expr, $avx2:expr, $scalar:expr) => {{
+        #[cfg(target_arch = "x86_64")]
+        if !$force_scalar && runtime_supported() {
+            // SAFETY: runtime_supported() just verified AVX2.
+            return unsafe { $avx2 };
+        }
+        let _ = $force_scalar;
+        $scalar
+    }};
+}
+
+/// Theorem-2 overhead `h₂(m)` for eight lanes.
+pub fn h2_x8(pack: &LanePack, m: &[f64; LANES], force_scalar: bool) -> [f64; LANES] {
+    dispatch!(
+        force_scalar,
+        h2_x8_avx2(pack, m),
+        std::array::from_fn(|l| optimal::h2(&pack.cells[l].0, &pack.cells[l].1, m[l]))
+    )
+}
+
+/// Theorem-3 overhead `h₃(m)` for eight lanes.
+pub fn h3_x8(pack: &LanePack, m: &[f64; LANES], force_scalar: bool) -> [f64; LANES] {
+    dispatch!(
+        force_scalar,
+        h3_x8_avx2(pack, m),
+        std::array::from_fn(|l| optimal::h3(&pack.cells[l].0, &pack.cells[l].1, m[l]))
+    )
+}
+
+/// Proposition-3 Theorem-4 overhead `h₄(n, m)` for eight lanes.
+pub fn h4_x8(
+    pack: &LanePack,
+    n: &[f64; LANES],
+    m: &[f64; LANES],
+    force_scalar: bool,
+) -> [f64; LANES] {
+    dispatch!(
+        force_scalar,
+        h4_x8_avx2(pack, n, m),
+        std::array::from_fn(|l| optimal::h4(&pack.cells[l].0, &pack.cells[l].1, n[l], m[l]))
+    )
+}
+
+/// Continuous Theorem-2 optimum `m̄₂` for eight lanes.
+pub fn th2_mbar_x8(pack: &LanePack, force_scalar: bool) -> [f64; LANES] {
+    dispatch!(
+        force_scalar,
+        th2_mbar_x8_avx2(pack),
+        std::array::from_fn(|l| optimal::th2_mbar(&pack.cells[l].0, &pack.cells[l].1))
+    )
+}
+
+/// Continuous Theorem-3 optimum `m̄₃` for eight lanes.
+pub fn th3_mbar_x8(pack: &LanePack, force_scalar: bool) -> [f64; LANES] {
+    dispatch!(
+        force_scalar,
+        th3_mbar_x8_avx2(pack),
+        std::array::from_fn(|l| optimal::th3_mbar(&pack.cells[l].0, &pack.cells[l].1))
+    )
+}
+
+#[cfg(target_arch = "x86_64")]
+mod avx2 {
+    //! The AVX2 kernel bodies. Each mirrors its scalar expression in
+    //! `crate::optimal` operation for operation — same association, same
+    //! order, divisions kept as divisions — because exactly-rounded ops in
+    //! the same tree yield bit-identical results. Any algebraic
+    //! "simplification" here (reciprocal-multiply, FMA, reassociation)
+    //! would break the bit pin.
+
+    use super::{LanePack, LANES};
+    use core::arch::x86_64::*;
+
+    /// Per-half register load of one lane array.
+    #[inline(always)]
+    unsafe fn load(xs: &[f64; LANES], half: usize) -> __m256d {
+        _mm256_loadu_pd(xs.as_ptr().add(half * 4))
+    }
+
+    /// Per-half store into one lane array.
+    #[inline(always)]
+    unsafe fn store(out: &mut [f64; LANES], half: usize, v: __m256d) {
+        _mm256_storeu_pd(out.as_mut_ptr().add(half * 4), v)
+    }
+
+    /// `H = 2·√(o_ef · o_rw)` — the shared tail of every overhead form.
+    #[inline(always)]
+    unsafe fn hyperbolic(o_ef: __m256d, o_rw: __m256d) -> __m256d {
+        let two = _mm256_set1_pd(2.0);
+        _mm256_mul_pd(two, _mm256_sqrt_pd(_mm256_mul_pd(o_ef, o_rw)))
+    }
+
+    /// Scalar: `o_ef = m·V* + C`, `o_rw = λf/2 + λs·(m+1)/(2m)`.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn h2_x8_avx2(pack: &LanePack, m: &[f64; LANES]) -> [f64; LANES] {
+        let mut out = [0.0; LANES];
+        for half in 0..2 {
+            let one = _mm256_set1_pd(1.0);
+            let two = _mm256_set1_pd(2.0);
+            let mv = load(m, half);
+            let o_ef = _mm256_add_pd(
+                _mm256_mul_pd(mv, load(&pack.guaranteed_verif, half)),
+                load(&pack.checkpoint, half),
+            );
+            let o_rw = _mm256_add_pd(
+                _mm256_div_pd(load(&pack.lambda_fail, half), two),
+                _mm256_div_pd(
+                    _mm256_mul_pd(load(&pack.lambda_silent, half), _mm256_add_pd(mv, one)),
+                    _mm256_mul_pd(two, mv),
+                ),
+            );
+            store(&mut out, half, hyperbolic(o_ef, o_rw));
+        }
+        out
+    }
+
+    /// Scalar: `o_ef = (m−1)·v + V* + C`, `u = (m−2)r + 2`,
+    /// `f_re = ½(1 + (2−r)/u)`, `o_rw = λf/2 + λs·f_re`.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn h3_x8_avx2(pack: &LanePack, m: &[f64; LANES]) -> [f64; LANES] {
+        let mut out = [0.0; LANES];
+        for half in 0..2 {
+            let half_c = _mm256_set1_pd(0.5);
+            let one = _mm256_set1_pd(1.0);
+            let two = _mm256_set1_pd(2.0);
+            let mv = load(m, half);
+            let r = load(&pack.recall, half);
+            let o_ef = _mm256_add_pd(
+                _mm256_add_pd(
+                    _mm256_mul_pd(_mm256_sub_pd(mv, one), load(&pack.partial_verif, half)),
+                    load(&pack.guaranteed_verif, half),
+                ),
+                load(&pack.checkpoint, half),
+            );
+            let u = _mm256_add_pd(_mm256_mul_pd(_mm256_sub_pd(mv, two), r), two);
+            let f_re = _mm256_mul_pd(
+                half_c,
+                _mm256_add_pd(one, _mm256_div_pd(_mm256_sub_pd(two, r), u)),
+            );
+            let o_rw = _mm256_add_pd(
+                _mm256_div_pd(load(&pack.lambda_fail, half), two),
+                _mm256_mul_pd(load(&pack.lambda_silent, half), f_re),
+            );
+            store(&mut out, half, hyperbolic(o_ef, o_rw));
+        }
+        out
+    }
+
+    /// Scalar: `o_ef = m·(V* + n·v) + C`, `u = (n−1)r + 2`,
+    /// `f_re = ½ + (2−r)/(2mu)`, `o_rw = λf/2 + λs·f_re`.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn h4_x8_avx2(pack: &LanePack, n: &[f64; LANES], m: &[f64; LANES]) -> [f64; LANES] {
+        let mut out = [0.0; LANES];
+        for half in 0..2 {
+            let half_c = _mm256_set1_pd(0.5);
+            let one = _mm256_set1_pd(1.0);
+            let two = _mm256_set1_pd(2.0);
+            let nv = load(n, half);
+            let mv = load(m, half);
+            let r = load(&pack.recall, half);
+            let o_ef = _mm256_add_pd(
+                _mm256_mul_pd(
+                    mv,
+                    _mm256_add_pd(
+                        load(&pack.guaranteed_verif, half),
+                        _mm256_mul_pd(nv, load(&pack.partial_verif, half)),
+                    ),
+                ),
+                load(&pack.checkpoint, half),
+            );
+            let u = _mm256_add_pd(_mm256_mul_pd(_mm256_sub_pd(nv, one), r), two);
+            // (2−r) / ((2·m)·u): the scalar denominator `2.0 * m * u`
+            // associates left, so the product order is (2·m)·u.
+            let f_re = _mm256_add_pd(
+                half_c,
+                _mm256_div_pd(
+                    _mm256_sub_pd(two, r),
+                    _mm256_mul_pd(_mm256_mul_pd(two, mv), u),
+                ),
+            );
+            let o_rw = _mm256_add_pd(
+                _mm256_div_pd(load(&pack.lambda_fail, half), two),
+                _mm256_mul_pd(load(&pack.lambda_silent, half), f_re),
+            );
+            store(&mut out, half, hyperbolic(o_ef, o_rw));
+        }
+        out
+    }
+
+    /// Scalar: `m̄₂ = √(C·λs / (V*·(λf+λs)))` when `λs > 0`, else `1`.
+    /// The branch becomes a compare mask + blend.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn th2_mbar_x8_avx2(pack: &LanePack) -> [f64; LANES] {
+        let mut out = [0.0; LANES];
+        for half in 0..2 {
+            let zero = _mm256_setzero_pd();
+            let one = _mm256_set1_pd(1.0);
+            let lf = load(&pack.lambda_fail, half);
+            let ls = load(&pack.lambda_silent, half);
+            let m_bar = _mm256_sqrt_pd(_mm256_div_pd(
+                _mm256_mul_pd(load(&pack.checkpoint, half), ls),
+                _mm256_mul_pd(load(&pack.guaranteed_verif, half), _mm256_add_pd(lf, ls)),
+            ));
+            let silent = _mm256_cmp_pd::<_CMP_GT_OQ>(ls, zero);
+            store(&mut out, half, _mm256_blendv_pd(one, m_bar, silent));
+        }
+        out
+    }
+
+    /// Scalar (`th3_mbar`): `a = v/r`, `b = V*+C − v(2−r)/r`,
+    /// `c = (λf+λs)/2`, `d = λs(2−r)/2`, `u_min = 2−r`,
+    /// `ū = max(√(bd/(ac)), u_min)` when `b > 0 ∧ d > 0` else `u_min`,
+    /// `m̄₃ = (ū−2)/r + 2`. Branches become masks; `_mm256_max_pd` returns
+    /// its second operand on a NaN first operand, matching `f64::max`'s
+    /// NaN-ignoring behaviour for the `√` of a negative product.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn th3_mbar_x8_avx2(pack: &LanePack) -> [f64; LANES] {
+        let mut out = [0.0; LANES];
+        for half in 0..2 {
+            let zero = _mm256_setzero_pd();
+            let two = _mm256_set1_pd(2.0);
+            let lf = load(&pack.lambda_fail, half);
+            let ls = load(&pack.lambda_silent, half);
+            let r = load(&pack.recall, half);
+            let v = load(&pack.partial_verif, half);
+            let two_minus_r = _mm256_sub_pd(two, r);
+            let a = _mm256_div_pd(v, r);
+            let b = _mm256_sub_pd(
+                _mm256_add_pd(
+                    load(&pack.guaranteed_verif, half),
+                    load(&pack.checkpoint, half),
+                ),
+                _mm256_div_pd(_mm256_mul_pd(v, two_minus_r), r),
+            );
+            let c = _mm256_div_pd(_mm256_add_pd(lf, ls), two);
+            let d = _mm256_div_pd(_mm256_mul_pd(ls, two_minus_r), two);
+            let u_min = two_minus_r;
+            let s = _mm256_sqrt_pd(_mm256_div_pd(_mm256_mul_pd(b, d), _mm256_mul_pd(a, c)));
+            let closed = _mm256_max_pd(s, u_min);
+            let take_closed = _mm256_and_pd(
+                _mm256_cmp_pd::<_CMP_GT_OQ>(b, zero),
+                _mm256_cmp_pd::<_CMP_GT_OQ>(d, zero),
+            );
+            let u_bar = _mm256_blendv_pd(u_min, closed, take_closed);
+            let m_bar = _mm256_add_pd(_mm256_div_pd(_mm256_sub_pd(u_bar, two), r), two);
+            store(&mut out, half, m_bar);
+        }
+        out
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+use avx2::{h2_x8_avx2, h3_x8_avx2, h4_x8_avx2, th2_mbar_x8_avx2, th3_mbar_x8_avx2};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{reference_scenarios, validation_scenarios};
+
+    fn packs() -> Vec<LanePack> {
+        let cells: Vec<(Platform, CostModel)> = reference_scenarios()
+            .iter()
+            .chain(validation_scenarios().iter())
+            .map(|s| (s.platform, s.costs))
+            .collect();
+        // One full pack of all six scenarios (padded), plus a short group
+        // exercising the replication padding.
+        vec![
+            LanePack::from_cells(&cells),
+            LanePack::from_cells(&cells[..2]),
+        ]
+    }
+
+    #[test]
+    fn scalar_lanes_match_the_optimal_module_exactly() {
+        for pack in packs() {
+            let ms = [1.0, 2.0, 3.0, 5.0, 8.0, 13.0, 21.0, 34.0];
+            let h2 = h2_x8(&pack, &ms, true);
+            let h3 = h3_x8(&pack, &ms, true);
+            let h4 = h4_x8(&pack, &ms, &ms, true);
+            for l in 0..LANES {
+                let (p, c) = pack.cells[l];
+                assert_eq!(h2[l].to_bits(), optimal::h2(&p, &c, ms[l]).to_bits());
+                assert_eq!(h3[l].to_bits(), optimal::h3(&p, &c, ms[l]).to_bits());
+                assert_eq!(h4[l].to_bits(), optimal::h4(&p, &c, ms[l], ms[l]).to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn avx2_lanes_are_bit_identical_to_scalar() {
+        if !runtime_supported() {
+            eprintln!("skipping AVX2 bit-pin: host lacks AVX2");
+            return;
+        }
+        for pack in packs() {
+            for m in 1..=16u64 {
+                let ms = [m as f64; LANES];
+                for (wide, narrow) in [
+                    (h2_x8(&pack, &ms, false), h2_x8(&pack, &ms, true)),
+                    (h3_x8(&pack, &ms, false), h3_x8(&pack, &ms, true)),
+                    (th2_mbar_x8(&pack, false), th2_mbar_x8(&pack, true)),
+                    (th3_mbar_x8(&pack, false), th3_mbar_x8(&pack, true)),
+                ] {
+                    for l in 0..LANES {
+                        assert_eq!(wide[l].to_bits(), narrow[l].to_bits(), "m={m} lane {l}");
+                    }
+                }
+                for n in 0..=4u64 {
+                    let ns = [n as f64; LANES];
+                    let wide = h4_x8(&pack, &ns, &ms, false);
+                    let narrow = h4_x8(&pack, &ns, &ms, true);
+                    for l in 0..LANES {
+                        assert_eq!(
+                            wide[l].to_bits(),
+                            narrow[l].to_bits(),
+                            "n={n} m={m} lane {l}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn padding_replicates_the_last_cell() {
+        let s = &reference_scenarios()[0];
+        let pack = LanePack::from_cells(&[(s.platform, s.costs)]);
+        for l in 1..LANES {
+            assert_eq!(pack.lambda_fail[l], pack.lambda_fail[0]);
+            assert_eq!(pack.recall[l], pack.recall[0]);
+        }
+    }
+}

@@ -1,0 +1,111 @@
+//! Bit-pins of the 8-lane SIMD Proposition-3 evaluator against the scalar
+//! path: the kernel level (`h₂`/`h₃`/`h₄`, continuous optima) over all six
+//! named scenarios, and the `theorem4_batch` front-end against per-cell
+//! `theorem4` over scenarios and canonical-grid samples. "Bit-pin" is
+//! literal — every f64 is compared by `to_bits`, and pattern structures by
+//! full equality — because the sweep executor's byte-identical-output
+//! contract rides on it.
+
+use resilience::overhead_simd::{h2_x8, h3_x8, h4_x8, runtime_supported, LanePack, LANES};
+use resilience::sweep::grid_spec;
+use resilience::{
+    reference_scenarios, theorem4, theorem4_batch, theorem4_batch_with, validation_scenarios,
+    CostModel, Platform,
+};
+
+/// All six named scenarios (three reference + three validation).
+fn scenario_cells() -> Vec<(Platform, CostModel)> {
+    reference_scenarios()
+        .iter()
+        .chain(validation_scenarios().iter())
+        .map(|s| (s.platform, s.costs))
+        .collect()
+}
+
+/// A deterministic sample of canonical-grid cells: every `stride`-th cell,
+/// covering all recall values and many platform spans.
+fn grid_cells(per_axis: usize, stride: usize) -> Vec<(Platform, CostModel)> {
+    let spec = grid_spec(per_axis);
+    (0..spec.len())
+        .step_by(stride)
+        .map(|i| {
+            let cell = spec.cell_at(i);
+            (cell.platform, cell.costs)
+        })
+        .collect()
+}
+
+#[test]
+fn kernels_are_bit_identical_to_scalar_over_all_named_scenarios() {
+    if !runtime_supported() {
+        eprintln!("skipping SIMD bit-pin: host lacks AVX2");
+        return;
+    }
+    let cells = scenario_cells();
+    assert_eq!(cells.len(), 6, "the paper names six scenarios");
+    let pack = LanePack::from_cells(&cells);
+    for m in 1..=32u64 {
+        let ms = [m as f64; LANES];
+        let (w2, s2) = (h2_x8(&pack, &ms, false), h2_x8(&pack, &ms, true));
+        let (w3, s3) = (h3_x8(&pack, &ms, false), h3_x8(&pack, &ms, true));
+        for l in 0..LANES {
+            assert_eq!(w2[l].to_bits(), s2[l].to_bits(), "h2 m={m} lane {l}");
+            assert_eq!(w3[l].to_bits(), s3[l].to_bits(), "h3 m={m} lane {l}");
+        }
+        for n in 0..=8u64 {
+            let ns = [n as f64; LANES];
+            let wide = h4_x8(&pack, &ns, &ms, false);
+            let scalar = h4_x8(&pack, &ns, &ms, true);
+            for l in 0..LANES {
+                assert_eq!(
+                    wide[l].to_bits(),
+                    scalar[l].to_bits(),
+                    "h4 n={n} m={m} lane {l}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn batch_matches_per_cell_theorem4_over_scenarios() {
+    let cells = scenario_cells();
+    let expected: Vec<_> = cells.iter().map(|(p, c)| theorem4(p, c)).collect();
+    assert_eq!(theorem4_batch(&cells), expected, "auto-dispatch batch");
+    assert_eq!(
+        theorem4_batch_with(&cells, true),
+        expected,
+        "forced-scalar batch"
+    );
+}
+
+#[test]
+fn batch_matches_per_cell_theorem4_over_grid_samples() {
+    // 7³ = 343 cells in full plus a strided 20³ sample: covers every recall
+    // value, many platform spans, and ragged (non-multiple-of-8) tails.
+    for cells in [grid_cells(7, 1), grid_cells(20, 13)] {
+        let expected: Vec<_> = cells.iter().map(|(p, c)| theorem4(p, c)).collect();
+        let batched = theorem4_batch(&cells);
+        assert_eq!(batched.len(), expected.len());
+        for (i, (b, e)) in batched.iter().zip(&expected).enumerate() {
+            assert_eq!(
+                b.overhead.to_bits(),
+                e.overhead.to_bits(),
+                "cell {i}: overhead bits diverged"
+            );
+            assert_eq!(b, e, "cell {i}: pattern diverged");
+        }
+    }
+}
+
+#[test]
+fn batch_handles_every_group_size() {
+    // 1 ..= 2·LANES+1 cells: single-lane groups, exact packs, ragged tails.
+    let all = grid_cells(5, 1);
+    for k in 1..=(2 * LANES + 1) {
+        let cells = &all[..k];
+        let expected: Vec<_> = cells.iter().map(|(p, c)| theorem4(p, c)).collect();
+        assert_eq!(theorem4_batch(cells), expected, "group size {k}");
+    }
+    assert!(theorem4_batch(&[]).is_empty());
+}

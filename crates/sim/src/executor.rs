@@ -1,38 +1,53 @@
 //! Sharded sweep executor: streams a [`SweepSpec`]'s cells over a pool of
 //! workers and emits results back in deterministic cell order.
 //!
-//! Dispatch is *chunked*: workers claim contiguous index ranges off an
-//! atomic cursor, evaluate a whole chunk by walking the spec's streaming
-//! iterator (cells are derived on the fly — nothing is materialized up
-//! front), and send one result block per chunk into a chunk-granular
-//! reorder buffer. On analytic-only runs that amortizes the channel send
-//! and the reorder bookkeeping over hundreds of cells, so per-cell dispatch
-//! overhead is near zero at million-cell scale. Simulated runs keep
-//! single-cell chunks — per-cell work dwarfs dispatch there, and cell-level
-//! stealing is what keeps expensive cells from stalling cheap ones.
+//! Two dispatch shapes, chosen by what a cell costs:
+//!
+//! * **Analytic sweeps** (`sim == None`, cells cost microseconds) use a
+//!   *static partition*: the index range is split into one contiguous
+//!   near-equal slice per worker — the same slice formula as cross-process
+//!   `--shard` — so each worker is the single producer for its range. A
+//!   worker walks its slice in blocks, memoizes optima in a private
+//!   [`LocalOptimumCache`] (merged into the shared [`OptimumCache`] only at
+//!   flush boundaries, so there is no per-cell lock rendezvous), evaluates
+//!   Theorem-4 misses 8 lanes at a time through
+//!   [`theorem4_batch`], and buffers results locally,
+//!   shipping a few thousand cells per channel send. Because each worker's
+//!   channel receives blocks in index order and worker ranges tile the
+//!   range in order, the emitter just drains the channels worker by worker
+//!   — no reorder buffer at all.
+//! * **Simulated sweeps** (`sim == Some`) keep per-cell work stealing off an
+//!   atomic cursor: per-cell cost dwarfs dispatch, and cell-level stealing
+//!   is what keeps expensive cells from stalling cheap ones. Results funnel
+//!   through a per-cell reorder buffer.
 //!
 //! Determinism is structural, not incidental:
 //!
-//! * every cell's optimum comes from the pure closed-form optimizers
-//!   (through the shared [`OptimumCache`], whose bit-exact keys make a hit
-//!   indistinguishable from a recomputation);
+//! * every cell's optimum comes from the pure closed-form optimizers —
+//!   through the shared [`OptimumCache`] or a worker's private memo, whose
+//!   bit-exact keys make a hit indistinguishable from a recomputation, and
+//!   through [`theorem4_batch`], whose lanes are bit-identical to the
+//!   scalar path;
+//! * cache *statistics* are schedule-independent too: local caches merge
+//!   with reclassification (a query is a miss iff its entry is globally
+//!   new), so threaded totals equal the serial run's exactly;
 //! * every cell's Monte-Carlo seed is derived from `(base seed, cell index)`
 //!   by [`cell_seed`], never from which worker ran it;
-//! * the reorder buffer emits results in increasing cell index as soon as
-//!   each prefix completes.
+//! * results are emitted in increasing cell index as soon as each prefix
+//!   completes.
 //!
 //! Consequently the output is byte-identical to the serial loop at a fixed
 //! seed for any worker count — `tests/executor.rs` asserts this
 //! cell-for-cell over the 1,000-cell canonical grid. The same holds across
 //! *processes*: [`SweepExecutor::run_streaming_range`] executes any index
 //! sub-range, and concatenating the outputs of a partition of `0..len` in
-//! order reproduces the full run byte for byte (the first rung of
-//! cross-process sharding for million-cell studies).
+//! order reproduces the full run byte for byte.
 
 use crate::engine::Backend;
 use crate::runner::{run_replications, RunConfig, SimReport};
-use resilience::cache::OptimumCache;
-use resilience::optimal::PatternOptimum;
+use resilience::cache::{LocalOptimumCache, OptimumCache, OptimumKey};
+use resilience::optimal::theorem4_batch;
+use resilience::platform::{CostModel, Platform};
 use resilience::sweep::{CellName, SweepCell, SweepSpec, Theorem};
 use std::ops::Range;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -74,6 +89,8 @@ pub struct CellResult {
     pub report: Option<SimReport>,
 }
 
+use resilience::optimal::PatternOptimum;
+
 /// Derives the per-cell simulation seed from the sweep's base seed and the
 /// cell index (one SplitMix64 scramble), so cell results are a pure function
 /// of `(spec, settings)` no matter how cells are sharded.
@@ -84,55 +101,15 @@ pub fn cell_seed(base: u64, index: u64) -> u64 {
     z ^ (z >> 31)
 }
 
-/// Largest dispatch chunk, in cells. Bounds both tail imbalance and the
-/// size of one in-flight result block.
-const MAX_CHUNK: usize = 1_024;
-/// Analytic chunk sizing aims for this many chunks per worker, so the
-/// atomic-cursor tail stays balanced without shrinking chunks enough for
-/// per-chunk overhead to matter.
-const CHUNKS_PER_WORKER: usize = 8;
-
-/// Cells per dispatch chunk. Simulated sweeps keep per-cell stealing (one
-/// expensive cell must never stall a chunk's worth of cheap ones); analytic
-/// sweeps batch hard, since a cell costs microseconds and the channel send
-/// plus reorder slot would otherwise dominate.
-fn chunk_size(total: usize, workers: usize, sim: Option<SimSettings>) -> usize {
-    if sim.is_some() {
-        1
-    } else {
-        (total / (workers * CHUNKS_PER_WORKER)).clamp(1, MAX_CHUNK)
-    }
-}
-
-/// One chunk's results in flight: single-cell chunks (simulated sweeps)
-/// travel inline with no heap wrapper — preserving the zero-per-cell-Vec
-/// hygiene of the pre-chunking executor — while analytic chunks carry
-/// their whole block in one Vec. The size imbalance is deliberate: boxing
-/// `One` would put the per-cell allocation right back, and a ~300-byte
-/// channel message is cheaper than a heap round-trip per simulated cell.
-#[allow(clippy::large_enum_variant)]
-enum Block {
-    One(CellResult),
-    Many(Vec<CellResult>),
-}
-
-impl Block {
-    fn emit_into(self, emit: &mut impl FnMut(CellResult)) -> usize {
-        match self {
-            Block::One(r) => {
-                emit(r);
-                1
-            }
-            Block::Many(rs) => {
-                let n = rs.len();
-                for r in rs {
-                    emit(r);
-                }
-                n
-            }
-        }
-    }
-}
+/// Cells per analytic evaluation block: one probe/batch-evaluate/resolve
+/// round over one contiguous slice of a worker's range. Large enough to
+/// fill many 8-lane packs per [`theorem4_batch`] call, small enough that
+/// the per-block scratch stays in cache.
+const ANALYTIC_BLOCK: usize = 256;
+/// Blocks between flushes: every `ANALYTIC_BLOCK · ANALYTIC_BLOCKS_PER_FLUSH`
+/// cells a worker merges its local cache into the shared one and ships its
+/// buffered results in one channel send.
+const ANALYTIC_BLOCKS_PER_FLUSH: usize = 16;
 
 /// Sweep executor: a worker count and a shared optimum cache. Cheap to
 /// construct; reuse one across runs to keep amortizing the cache.
@@ -160,6 +137,14 @@ impl SweepExecutor {
     /// The shared optimum cache (hit/miss counters included).
     pub fn cache(&self) -> &OptimumCache {
         &self.cache
+    }
+
+    /// The worker count this executor will use for `total` cells — the
+    /// configured thread count clamped to the cell count (never below 1).
+    /// `effective_workers(total) == 1` means the inline serial path: no
+    /// pool is spawned at all.
+    pub fn effective_workers(&self, total: usize) -> usize {
+        self.threads.min(total).max(1)
     }
 
     /// Runs the sweep and collects all results, ordered by cell index.
@@ -214,70 +199,221 @@ impl SweepExecutor {
         sim: Option<SimSettings>,
         mut emit: impl FnMut(CellResult),
     ) {
-        let total = range.len();
-        let workers = self.threads.min(total).max(1);
+        let workers = self.effective_workers(range.len());
         if workers == 1 {
+            // Inline serial path: no pool spawn, shared cache queried per
+            // cell (the per-query hit/miss counting of the serial contract).
             for cell in spec.iter_range(range) {
                 emit(self.eval(cell, sim));
             }
-            return;
+        } else if sim.is_none() {
+            self.run_analytic_partitioned(spec, range, workers, &mut emit);
+        } else {
+            self.run_simulated_stealing(spec, range, sim, workers, &mut emit);
         }
+    }
 
-        // Chunked dispatch: `cursor` indexes *chunks*; an idle worker
-        // claims the next contiguous cell range with one fetch_add, streams
-        // the spec over it, and sends the whole block back at once. The
-        // receiving side keeps one preallocated reorder slot per chunk —
-        // for a million analytic cells that is ~1k slots and ~1k channel
-        // sends, not a million of each.
-        let chunk = chunk_size(total, workers, sim);
-        let n_chunks = total.div_ceil(chunk);
-        let (start, end) = (range.start, range.end);
+    /// Threaded analytic sweep: static contiguous partition, one worker per
+    /// slice, thread-local optimum caches, per-worker result buffers.
+    ///
+    /// Worker `w` owns `[total·w/workers, total·(w+1)/workers)` — the same
+    /// slice formula as cross-process `--shard` — so each worker is the
+    /// *single producer* for its range: its channel delivers blocks in
+    /// index order for free, and draining the channels in worker order
+    /// emits strictly increasing indices with no reorder buffer. Workers
+    /// ahead of the drain point simply buffer into their channels.
+    fn run_analytic_partitioned(
+        &self,
+        spec: &SweepSpec,
+        range: Range<usize>,
+        workers: usize,
+        emit: &mut impl FnMut(CellResult),
+    ) {
+        let total = range.len();
+        let start = range.start;
+        std::thread::scope(|scope| {
+            let mut rxs = Vec::with_capacity(workers);
+            for w in 0..workers {
+                let (tx, rx) = mpsc::channel::<Vec<CellResult>>();
+                rxs.push(rx);
+                let lo = start + total * w / workers;
+                let hi = start + total * (w + 1) / workers;
+                scope.spawn(move || self.analytic_worker(spec, lo..hi, &tx));
+            }
+            let mut emitted = 0usize;
+            for rx in rxs {
+                for block in rx {
+                    emitted += block.len();
+                    for r in block {
+                        emit(r);
+                    }
+                }
+            }
+            assert!(
+                emitted == total,
+                "executor lost cells: emitted {emitted} of {total}"
+            );
+        });
+    }
+
+    /// One analytic worker: walks its slice in [`ANALYTIC_BLOCK`]-cell
+    /// blocks, expanding each cell exactly once. The probe pass records per
+    /// cell either the memoized optimum (one hash lookup answers the query)
+    /// or a slot in the block's miss list; the Theorem-4 misses then
+    /// compute 8 lanes at a time via [`theorem4_batch`] (other theorems
+    /// are a single closed form each — scalar), and the resolve pass stitches
+    /// buffered metadata to hit values and batch outputs without touching
+    /// the map again. Cache merges and result sends happen every
+    /// [`ANALYTIC_BLOCKS_PER_FLUSH`] blocks and at the end, so shared-state
+    /// traffic is thousands of cells apart.
+    fn analytic_worker(
+        &self,
+        spec: &SweepSpec,
+        range: Range<usize>,
+        tx: &mpsc::Sender<Vec<CellResult>>,
+    ) {
+        /// Where one cell's optimum comes from at resolve time.
+        enum Slot {
+            /// Known at probe time (local hit or warm-shared adoption).
+            Ready(PatternOptimum),
+            /// `i`-th entry of the block's Theorem-4 batch.
+            T4(usize),
+            /// `i`-th entry of the block's scalar miss list.
+            Other(usize),
+        }
+        let flush_cells = ANALYTIC_BLOCK * ANALYTIC_BLOCKS_PER_FLUSH;
+        let mut local = LocalOptimumCache::new(&self.cache);
+        let mut buf: Vec<CellResult> = Vec::with_capacity(flush_cells.min(range.len()));
+        let mut block: Vec<(usize, CellName, Theorem, Slot)> = Vec::with_capacity(ANALYTIC_BLOCK);
+        let mut miss_t4_keys: Vec<OptimumKey> = Vec::new();
+        let mut miss_t4_cells: Vec<(Platform, CostModel)> = Vec::new();
+        let mut miss_other: Vec<(OptimumKey, Theorem, Platform, CostModel)> = Vec::new();
+        let mut since_flush = 0usize;
+
+        let mut lo = range.start;
+        while lo < range.end {
+            let hi = (lo + ANALYTIC_BLOCK).min(range.end);
+            block.clear();
+            miss_t4_keys.clear();
+            miss_t4_cells.clear();
+            miss_other.clear();
+            for cell in spec.iter_range(lo..hi) {
+                let key = OptimumKey::new(&cell.platform, &cell.costs, cell.theorem);
+                let slot = match local.probe(key) {
+                    Some(optimum) => Slot::Ready(optimum),
+                    // Duplicate unknown keys within one block each get
+                    // their own miss slot; the batch computes both (the
+                    // optimizers are pure, the values identical) and
+                    // insert_computed keeps the first.
+                    None => match cell.theorem {
+                        Theorem::Four => {
+                            miss_t4_keys.push(key);
+                            miss_t4_cells.push((cell.platform, cell.costs));
+                            Slot::T4(miss_t4_keys.len() - 1)
+                        }
+                        other => {
+                            miss_other.push((key, other, cell.platform, cell.costs));
+                            Slot::Other(miss_other.len() - 1)
+                        }
+                    },
+                };
+                block.push((cell.index, cell.name, cell.theorem, slot));
+            }
+            let optima_t4 = theorem4_batch(&miss_t4_cells);
+            for (&key, optimum) in miss_t4_keys.iter().zip(&optima_t4) {
+                local.insert_computed(key, optimum.clone());
+            }
+            let optima_other: Vec<PatternOptimum> = miss_other
+                .iter()
+                .map(|&(key, theorem, ref platform, ref costs)| {
+                    let optimum = theorem.optimize(platform, costs);
+                    local.insert_computed(key, optimum.clone());
+                    optimum
+                })
+                .collect();
+            for (index, name, theorem, slot) in block.drain(..) {
+                let optimum = match slot {
+                    Slot::Ready(optimum) => optimum,
+                    Slot::T4(i) => optima_t4[i].clone(),
+                    Slot::Other(i) => optima_other[i].clone(),
+                };
+                buf.push(CellResult {
+                    index,
+                    name,
+                    theorem,
+                    optimum,
+                    report: None,
+                });
+            }
+            since_flush += hi - lo;
+            lo = hi;
+            if since_flush >= flush_cells && lo < range.end {
+                local.flush();
+                let block = std::mem::replace(
+                    &mut buf,
+                    Vec::with_capacity(flush_cells.min(range.end - lo)),
+                );
+                if tx.send(block).is_err() {
+                    return; // Receiver dropped (emit panicked): stop early.
+                }
+                since_flush = 0;
+            }
+        }
+        local.flush();
+        if !buf.is_empty() && tx.send(buf).is_err() {
+            // Receiver gone; nothing left to do either way.
+        }
+    }
+
+    /// Threaded simulated sweep: per-cell work stealing off an atomic
+    /// cursor with a per-cell reorder buffer. One simulated cell costs
+    /// milliseconds, so per-cell dispatch overhead is irrelevant and
+    /// stealing keeps expensive cells from stalling cheap ones.
+    fn run_simulated_stealing(
+        &self,
+        spec: &SweepSpec,
+        range: Range<usize>,
+        sim: Option<SimSettings>,
+        workers: usize,
+        emit: &mut impl FnMut(CellResult),
+    ) {
+        let total = range.len();
+        let start = range.start;
         let cursor = AtomicUsize::new(0);
-        let (tx, rx) = mpsc::channel::<(usize, Block)>();
+        let (tx, rx) = mpsc::channel::<(usize, CellResult)>();
         std::thread::scope(|scope| {
             for _ in 0..workers {
                 let tx = tx.clone();
                 let cursor = &cursor;
                 scope.spawn(move || loop {
-                    let c = cursor.fetch_add(1, Ordering::Relaxed);
-                    if c >= n_chunks {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= total {
                         break;
                     }
-                    let lo = start + c * chunk;
-                    let hi = (lo + chunk).min(end);
-                    let block = if hi - lo == 1 {
-                        Block::One(self.eval(spec.cell_at(lo), sim))
-                    } else {
-                        let mut rs = Vec::with_capacity(hi - lo);
-                        for cell in spec.iter_range(lo..hi) {
-                            rs.push(self.eval(cell, sim));
-                        }
-                        Block::Many(rs)
-                    };
-                    if tx.send((c, block)).is_err() {
+                    let r = self.eval(spec.cell_at(start + i), sim);
+                    if tx.send((i, r)).is_err() {
                         break;
                     }
                 });
             }
             drop(tx);
 
-            let mut pending: Vec<Option<Block>> = Vec::new();
-            pending.resize_with(n_chunks, || None);
+            let mut pending: Vec<Option<CellResult>> = Vec::new();
+            pending.resize_with(total, || None);
             let mut next = 0usize;
-            let mut emitted = 0usize;
-            for (c, block) in rx {
-                pending[c] = Some(block);
-                while next < n_chunks {
-                    let Some(block) = pending[next].take() else {
+            for (i, r) in rx {
+                pending[i] = Some(r);
+                while next < total {
+                    let Some(r) = pending[next].take() else {
                         break;
                     };
-                    emitted += block.emit_into(&mut emit);
+                    emit(r);
                     next += 1;
                 }
             }
             assert!(
-                emitted == total,
-                "executor lost cells: emitted {emitted} of {total}"
+                next == total,
+                "executor lost cells: emitted {next} of {total}"
             );
         });
     }
@@ -334,17 +470,11 @@ mod tests {
     }
 
     #[test]
-    fn chunk_sizes_balance_analytic_runs_and_isolate_simulated_cells() {
-        let sim = Some(SimSettings {
-            replications: 10,
-            threads_per_cell: 1,
-            seed: 0,
-            backend: Backend::Event,
-        });
-        assert_eq!(chunk_size(1_000_000, 8, sim), 1, "simulated cells steal");
-        assert_eq!(chunk_size(1_000_000, 8, None), MAX_CHUNK);
-        assert_eq!(chunk_size(1_000, 8, None), 1_000 / (8 * CHUNKS_PER_WORKER));
-        assert_eq!(chunk_size(12, 8, None), 1, "tiny sweeps still dispatch");
+    fn effective_workers_clamps_to_cells_and_one() {
+        assert_eq!(SweepExecutor::new(8).effective_workers(3), 3);
+        assert_eq!(SweepExecutor::new(8).effective_workers(1_000), 8);
+        assert_eq!(SweepExecutor::new(1).effective_workers(1_000), 1);
+        assert_eq!(SweepExecutor::new(4).effective_workers(0), 1);
     }
 
     #[test]
