@@ -149,6 +149,10 @@ pub fn refine_min_2d(
 
 #[cfg(test)]
 mod tests {
+    // Tests pin exact values on purpose (bit-stability is the contract
+    // under test); tolerance comparisons would weaken them.
+    #![allow(clippy::float_cmp)]
+
     use super::*;
     use crate::approx_eq;
 

@@ -76,6 +76,10 @@ pub fn exhaustive_integer_min(
 
 #[cfg(test)]
 mod tests {
+    // Tests pin exact values on purpose (bit-stability is the contract
+    // under test); tolerance comparisons would weaken them.
+    #![allow(clippy::float_cmp)]
+
     use super::*;
 
     #[test]

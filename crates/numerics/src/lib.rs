@@ -18,6 +18,10 @@
 //! Everything is dependency-free; the crates mirror what thin numeric-
 //! optimization coverage in the ecosystem would otherwise force us to vendor.
 
+// Pure arithmetic — nothing here has any business touching raw pointers or
+// intrinsics. Enforced by `xtask lint` (crate-attrs).
+#![forbid(unsafe_code)]
+
 pub mod golden;
 pub mod grid;
 pub mod integer;

@@ -232,6 +232,10 @@ impl<M: Minimizer1d> IntegerMinimizer1d for ConvexRounding<M> {
 
 #[cfg(test)]
 mod tests {
+    // Tests pin exact values on purpose (bit-stability is the contract
+    // under test); tolerance comparisons would weaken them.
+    #![allow(clippy::float_cmp)]
+
     use super::*;
     use crate::approx_eq;
 

@@ -14,9 +14,12 @@
 pub fn bisect(mut f: impl FnMut(f64) -> f64, mut lo: f64, mut hi: f64, tol: f64) -> f64 {
     let mut flo = f(lo);
     let fhi = f(hi);
+    // float-cmp: an exact zero at an endpoint IS the root; anything short of
+    // exact must go through the bracketing loop.
     if flo == 0.0 {
         return lo;
     }
+    // float-cmp: same exact-root early return for the upper endpoint.
     if fhi == 0.0 {
         return hi;
     }
@@ -27,6 +30,7 @@ pub fn bisect(mut f: impl FnMut(f64) -> f64, mut lo: f64, mut hi: f64, tol: f64)
     while hi - lo > tol {
         let mid = 0.5 * (lo + hi);
         let fmid = f(mid);
+        // float-cmp: exact root at the midpoint — nothing left to bisect.
         if fmid == 0.0 {
             return mid;
         }
@@ -49,10 +53,12 @@ pub fn newton(mut f: impl FnMut(f64) -> f64, x0: f64, lo: f64, hi: f64, tol: f64
     let mut x = x0.clamp(lo, hi);
     let (mut a, mut b) = (lo, hi);
     let mut fa = f(a);
+    // float-cmp: exact-root early return, as in `bisect`.
     if fa == 0.0 {
         return a;
     }
     let fb = f(b);
+    // float-cmp: exact-root early return, as in `bisect`.
     if fb == 0.0 {
         return b;
     }
@@ -74,6 +80,8 @@ pub fn newton(mut f: impl FnMut(f64) -> f64, x0: f64, lo: f64, hi: f64, tol: f64
         }
         let h = (x.abs() * 1e-7).max(1e-12);
         let d = (f(x + h) - f(x - h)) / (2.0 * h);
+        // float-cmp: only a literally zero derivative divides to ±∞/NaN; a
+        // merely tiny one still yields a finite step the bracket check vets.
         let next = if d != 0.0 { x - fx / d } else { f64::NAN };
         x = if next.is_finite() && next > a && next < b {
             next
@@ -143,6 +151,10 @@ impl RootFinder1d for SafeguardedNewton {
 
 #[cfg(test)]
 mod tests {
+    // Tests pin exact values on purpose (bit-stability is the contract
+    // under test); tolerance comparisons would weaken them.
+    #![allow(clippy::float_cmp)]
+
     use super::*;
     use crate::approx_eq;
 

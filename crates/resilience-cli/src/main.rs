@@ -40,6 +40,10 @@
 //! reported on stderr. Overheads are percentages; checkpoint and recovery
 //! frequencies use the paper's per-hour / per-day units.
 
+// The CLI only orchestrates library calls; all unsafe lives in the two
+// allowlisted SIMD modules. Enforced by `xtask lint` (crate-attrs).
+#![forbid(unsafe_code)]
+
 use resilience::{
     grid_spec, reference_scenarios, validation_scenarios, CostModel, Platform, Scenario, SweepSpec,
     Theorem, GRID_AXIS_LEN,

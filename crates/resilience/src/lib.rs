@@ -25,6 +25,10 @@
 //! Every closed form is cross-checked against the unified numeric optimizers
 //! of the `numerics` crate in `tests/consistency.rs`.
 
+// Unsafe is confined to `overhead_simd` (on the `xtask lint` allowlist), and
+// every operation inside an `unsafe fn` must restate its own obligations.
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub mod cache;
 pub mod optimal;
 pub mod overhead;

@@ -58,6 +58,8 @@ fn finalize(pattern: Pattern, platform: &Platform, costs: &CostModel) -> Pattern
 /// them) or no fail-stop errors.
 pub fn young_daly(platform: &Platform, costs: &CostModel) -> PatternOptimum {
     assert!(
+        // float-cmp: λ_s is a configuration value, not a computation result;
+        // "no silent errors" means literally zero.
         platform.lambda_silent == 0.0,
         "checkpoint-only pattern requires a platform without silent errors"
     );

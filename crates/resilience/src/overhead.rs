@@ -95,6 +95,10 @@ pub fn first_order_overhead(pattern: &Pattern, platform: &Platform, costs: &Cost
 
 #[cfg(test)]
 mod tests {
+    // Tests pin exact values on purpose (bit-stability is the contract
+    // under test); tolerance comparisons would weaken them.
+    #![allow(clippy::float_cmp)]
+
     use super::*;
     use numerics::approx_eq;
 

@@ -106,20 +106,12 @@ macro_rules! dispatch {
 
 /// Theorem-2 overhead `h₂(m)` for eight lanes.
 pub fn h2_x8(pack: &LanePack, m: &[f64; LANES], force_scalar: bool) -> [f64; LANES] {
-    dispatch!(
-        force_scalar,
-        h2_x8_avx2(pack, m),
-        std::array::from_fn(|l| optimal::h2(&pack.cells[l].0, &pack.cells[l].1, m[l]))
-    )
+    dispatch!(force_scalar, h2_x8_avx2(pack, m), h2_x8_scalar(pack, m))
 }
 
 /// Theorem-3 overhead `h₃(m)` for eight lanes.
 pub fn h3_x8(pack: &LanePack, m: &[f64; LANES], force_scalar: bool) -> [f64; LANES] {
-    dispatch!(
-        force_scalar,
-        h3_x8_avx2(pack, m),
-        std::array::from_fn(|l| optimal::h3(&pack.cells[l].0, &pack.cells[l].1, m[l]))
-    )
+    dispatch!(force_scalar, h3_x8_avx2(pack, m), h3_x8_scalar(pack, m))
 }
 
 /// Proposition-3 Theorem-4 overhead `h₄(n, m)` for eight lanes.
@@ -132,7 +124,7 @@ pub fn h4_x8(
     dispatch!(
         force_scalar,
         h4_x8_avx2(pack, n, m),
-        std::array::from_fn(|l| optimal::h4(&pack.cells[l].0, &pack.cells[l].1, n[l], m[l]))
+        h4_x8_scalar(pack, n, m)
     )
 }
 
@@ -141,7 +133,7 @@ pub fn th2_mbar_x8(pack: &LanePack, force_scalar: bool) -> [f64; LANES] {
     dispatch!(
         force_scalar,
         th2_mbar_x8_avx2(pack),
-        std::array::from_fn(|l| optimal::th2_mbar(&pack.cells[l].0, &pack.cells[l].1))
+        th2_mbar_x8_scalar(pack)
     )
 }
 
@@ -150,8 +142,39 @@ pub fn th3_mbar_x8(pack: &LanePack, force_scalar: bool) -> [f64; LANES] {
     dispatch!(
         force_scalar,
         th3_mbar_x8_avx2(pack),
-        std::array::from_fn(|l| optimal::th3_mbar(&pack.cells[l].0, &pack.cells[l].1))
+        th3_mbar_x8_scalar(pack)
     )
+}
+
+// The scalar twins of the AVX2 kernels: per-lane calls into the very
+// `crate::optimal` expressions the serial sweep uses, so "scalar fallback"
+// and "serial path" can never drift apart. `xtask lint` (simd-parity)
+// requires every `#[target_feature]` kernel to keep a named `*_scalar` twin
+// here and a test pinning the pair bit-identical.
+
+/// Scalar twin of [`h2_x8_avx2`].
+pub fn h2_x8_scalar(pack: &LanePack, m: &[f64; LANES]) -> [f64; LANES] {
+    std::array::from_fn(|l| optimal::h2(&pack.cells[l].0, &pack.cells[l].1, m[l]))
+}
+
+/// Scalar twin of [`h3_x8_avx2`].
+pub fn h3_x8_scalar(pack: &LanePack, m: &[f64; LANES]) -> [f64; LANES] {
+    std::array::from_fn(|l| optimal::h3(&pack.cells[l].0, &pack.cells[l].1, m[l]))
+}
+
+/// Scalar twin of [`h4_x8_avx2`].
+pub fn h4_x8_scalar(pack: &LanePack, n: &[f64; LANES], m: &[f64; LANES]) -> [f64; LANES] {
+    std::array::from_fn(|l| optimal::h4(&pack.cells[l].0, &pack.cells[l].1, n[l], m[l]))
+}
+
+/// Scalar twin of [`th2_mbar_x8_avx2`].
+pub fn th2_mbar_x8_scalar(pack: &LanePack) -> [f64; LANES] {
+    std::array::from_fn(|l| optimal::th2_mbar(&pack.cells[l].0, &pack.cells[l].1))
+}
+
+/// Scalar twin of [`th3_mbar_x8_avx2`].
+pub fn th3_mbar_x8_scalar(pack: &LanePack) -> [f64; LANES] {
+    std::array::from_fn(|l| optimal::th3_mbar(&pack.cells[l].0, &pack.cells[l].1))
 }
 
 #[cfg(target_arch = "x86_64")]
@@ -167,137 +190,192 @@ mod avx2 {
     use core::arch::x86_64::*;
 
     /// Per-half register load of one lane array.
+    ///
+    /// # Safety
+    /// Caller must have verified AVX2 support and pass `half < 2`.
     #[inline(always)]
     unsafe fn load(xs: &[f64; LANES], half: usize) -> __m256d {
-        _mm256_loadu_pd(xs.as_ptr().add(half * 4))
+        debug_assert!(half < 2);
+        // SAFETY: `half ∈ {0, 1}` puts the 4-wide (32-byte) unaligned read
+        // at offset `half·4`, ending at lane `half·4 + 4 ≤ LANES`, i.e.
+        // in bounds of the 8-lane array; AVX2 availability is the caller's
+        // contract (every caller sits behind `runtime_supported()`).
+        unsafe { _mm256_loadu_pd(xs.as_ptr().add(half * 4)) }
     }
 
     /// Per-half store into one lane array.
+    ///
+    /// # Safety
+    /// Caller must have verified AVX2 support and pass `half < 2`.
     #[inline(always)]
     unsafe fn store(out: &mut [f64; LANES], half: usize, v: __m256d) {
-        _mm256_storeu_pd(out.as_mut_ptr().add(half * 4), v)
+        debug_assert!(half < 2);
+        // SAFETY: same in-bounds argument as `load` — `half ∈ {0, 1}` keeps
+        // the 32-byte write inside the 8-lane array — and the same
+        // caller-verified AVX2 contract.
+        unsafe { _mm256_storeu_pd(out.as_mut_ptr().add(half * 4), v) }
     }
 
     /// `H = 2·√(o_ef · o_rw)` — the shared tail of every overhead form.
+    ///
+    /// # Safety
+    /// Caller must have verified AVX2 support.
     #[inline(always)]
     unsafe fn hyperbolic(o_ef: __m256d, o_rw: __m256d) -> __m256d {
-        let two = _mm256_set1_pd(2.0);
-        _mm256_mul_pd(two, _mm256_sqrt_pd(_mm256_mul_pd(o_ef, o_rw)))
+        // SAFETY: pure register-to-register arithmetic, no memory access;
+        // the only obligation is AVX2 availability, which is the caller's
+        // contract.
+        unsafe {
+            let two = _mm256_set1_pd(2.0);
+            _mm256_mul_pd(two, _mm256_sqrt_pd(_mm256_mul_pd(o_ef, o_rw)))
+        }
     }
 
     /// Scalar: `o_ef = m·V* + C`, `o_rw = λf/2 + λs·(m+1)/(2m)`.
+    ///
+    /// # Safety
+    /// Caller must have verified AVX2 support (`runtime_supported()`).
     #[target_feature(enable = "avx2")]
     pub unsafe fn h2_x8_avx2(pack: &LanePack, m: &[f64; LANES]) -> [f64; LANES] {
         let mut out = [0.0; LANES];
         for half in 0..2 {
-            let one = _mm256_set1_pd(1.0);
-            let two = _mm256_set1_pd(2.0);
-            let mv = load(m, half);
-            let o_ef = _mm256_add_pd(
-                _mm256_mul_pd(mv, load(&pack.guaranteed_verif, half)),
-                load(&pack.checkpoint, half),
-            );
-            let o_rw = _mm256_add_pd(
-                _mm256_div_pd(load(&pack.lambda_fail, half), two),
-                _mm256_div_pd(
-                    _mm256_mul_pd(load(&pack.lambda_silent, half), _mm256_add_pd(mv, one)),
-                    _mm256_mul_pd(two, mv),
-                ),
-            );
-            store(&mut out, half, hyperbolic(o_ef, o_rw));
+            // SAFETY: `half ∈ {0, 1}` satisfies the in-bounds contract of
+            // `load`/`store`; AVX2 availability is this fn's own caller
+            // contract, forwarded to the helpers.
+            unsafe {
+                let one = _mm256_set1_pd(1.0);
+                let two = _mm256_set1_pd(2.0);
+                let mv = load(m, half);
+                let o_ef = _mm256_add_pd(
+                    _mm256_mul_pd(mv, load(&pack.guaranteed_verif, half)),
+                    load(&pack.checkpoint, half),
+                );
+                let o_rw = _mm256_add_pd(
+                    _mm256_div_pd(load(&pack.lambda_fail, half), two),
+                    _mm256_div_pd(
+                        _mm256_mul_pd(load(&pack.lambda_silent, half), _mm256_add_pd(mv, one)),
+                        _mm256_mul_pd(two, mv),
+                    ),
+                );
+                store(&mut out, half, hyperbolic(o_ef, o_rw));
+            }
         }
         out
     }
 
     /// Scalar: `o_ef = (m−1)·v + V* + C`, `u = (m−2)r + 2`,
     /// `f_re = ½(1 + (2−r)/u)`, `o_rw = λf/2 + λs·f_re`.
+    ///
+    /// # Safety
+    /// Caller must have verified AVX2 support (`runtime_supported()`).
     #[target_feature(enable = "avx2")]
     pub unsafe fn h3_x8_avx2(pack: &LanePack, m: &[f64; LANES]) -> [f64; LANES] {
         let mut out = [0.0; LANES];
         for half in 0..2 {
-            let half_c = _mm256_set1_pd(0.5);
-            let one = _mm256_set1_pd(1.0);
-            let two = _mm256_set1_pd(2.0);
-            let mv = load(m, half);
-            let r = load(&pack.recall, half);
-            let o_ef = _mm256_add_pd(
-                _mm256_add_pd(
-                    _mm256_mul_pd(_mm256_sub_pd(mv, one), load(&pack.partial_verif, half)),
-                    load(&pack.guaranteed_verif, half),
-                ),
-                load(&pack.checkpoint, half),
-            );
-            let u = _mm256_add_pd(_mm256_mul_pd(_mm256_sub_pd(mv, two), r), two);
-            let f_re = _mm256_mul_pd(
-                half_c,
-                _mm256_add_pd(one, _mm256_div_pd(_mm256_sub_pd(two, r), u)),
-            );
-            let o_rw = _mm256_add_pd(
-                _mm256_div_pd(load(&pack.lambda_fail, half), two),
-                _mm256_mul_pd(load(&pack.lambda_silent, half), f_re),
-            );
-            store(&mut out, half, hyperbolic(o_ef, o_rw));
+            // SAFETY: `half ∈ {0, 1}` satisfies the in-bounds contract of
+            // `load`/`store`; AVX2 availability is this fn's own caller
+            // contract, forwarded to the helpers.
+            unsafe {
+                let half_c = _mm256_set1_pd(0.5);
+                let one = _mm256_set1_pd(1.0);
+                let two = _mm256_set1_pd(2.0);
+                let mv = load(m, half);
+                let r = load(&pack.recall, half);
+                let o_ef = _mm256_add_pd(
+                    _mm256_add_pd(
+                        _mm256_mul_pd(_mm256_sub_pd(mv, one), load(&pack.partial_verif, half)),
+                        load(&pack.guaranteed_verif, half),
+                    ),
+                    load(&pack.checkpoint, half),
+                );
+                let u = _mm256_add_pd(_mm256_mul_pd(_mm256_sub_pd(mv, two), r), two);
+                let f_re = _mm256_mul_pd(
+                    half_c,
+                    _mm256_add_pd(one, _mm256_div_pd(_mm256_sub_pd(two, r), u)),
+                );
+                let o_rw = _mm256_add_pd(
+                    _mm256_div_pd(load(&pack.lambda_fail, half), two),
+                    _mm256_mul_pd(load(&pack.lambda_silent, half), f_re),
+                );
+                store(&mut out, half, hyperbolic(o_ef, o_rw));
+            }
         }
         out
     }
 
     /// Scalar: `o_ef = m·(V* + n·v) + C`, `u = (n−1)r + 2`,
     /// `f_re = ½ + (2−r)/(2mu)`, `o_rw = λf/2 + λs·f_re`.
+    ///
+    /// # Safety
+    /// Caller must have verified AVX2 support (`runtime_supported()`).
     #[target_feature(enable = "avx2")]
     pub unsafe fn h4_x8_avx2(pack: &LanePack, n: &[f64; LANES], m: &[f64; LANES]) -> [f64; LANES] {
         let mut out = [0.0; LANES];
         for half in 0..2 {
-            let half_c = _mm256_set1_pd(0.5);
-            let one = _mm256_set1_pd(1.0);
-            let two = _mm256_set1_pd(2.0);
-            let nv = load(n, half);
-            let mv = load(m, half);
-            let r = load(&pack.recall, half);
-            let o_ef = _mm256_add_pd(
-                _mm256_mul_pd(
-                    mv,
-                    _mm256_add_pd(
-                        load(&pack.guaranteed_verif, half),
-                        _mm256_mul_pd(nv, load(&pack.partial_verif, half)),
+            // SAFETY: `half ∈ {0, 1}` satisfies the in-bounds contract of
+            // `load`/`store`; AVX2 availability is this fn's own caller
+            // contract, forwarded to the helpers.
+            unsafe {
+                let half_c = _mm256_set1_pd(0.5);
+                let one = _mm256_set1_pd(1.0);
+                let two = _mm256_set1_pd(2.0);
+                let nv = load(n, half);
+                let mv = load(m, half);
+                let r = load(&pack.recall, half);
+                let o_ef = _mm256_add_pd(
+                    _mm256_mul_pd(
+                        mv,
+                        _mm256_add_pd(
+                            load(&pack.guaranteed_verif, half),
+                            _mm256_mul_pd(nv, load(&pack.partial_verif, half)),
+                        ),
                     ),
-                ),
-                load(&pack.checkpoint, half),
-            );
-            let u = _mm256_add_pd(_mm256_mul_pd(_mm256_sub_pd(nv, one), r), two);
-            // (2−r) / ((2·m)·u): the scalar denominator `2.0 * m * u`
-            // associates left, so the product order is (2·m)·u.
-            let f_re = _mm256_add_pd(
-                half_c,
-                _mm256_div_pd(
-                    _mm256_sub_pd(two, r),
-                    _mm256_mul_pd(_mm256_mul_pd(two, mv), u),
-                ),
-            );
-            let o_rw = _mm256_add_pd(
-                _mm256_div_pd(load(&pack.lambda_fail, half), two),
-                _mm256_mul_pd(load(&pack.lambda_silent, half), f_re),
-            );
-            store(&mut out, half, hyperbolic(o_ef, o_rw));
+                    load(&pack.checkpoint, half),
+                );
+                let u = _mm256_add_pd(_mm256_mul_pd(_mm256_sub_pd(nv, one), r), two);
+                // (2−r) / ((2·m)·u): the scalar denominator `2.0 * m * u`
+                // associates left, so the product order is (2·m)·u.
+                let f_re = _mm256_add_pd(
+                    half_c,
+                    _mm256_div_pd(
+                        _mm256_sub_pd(two, r),
+                        _mm256_mul_pd(_mm256_mul_pd(two, mv), u),
+                    ),
+                );
+                let o_rw = _mm256_add_pd(
+                    _mm256_div_pd(load(&pack.lambda_fail, half), two),
+                    _mm256_mul_pd(load(&pack.lambda_silent, half), f_re),
+                );
+                store(&mut out, half, hyperbolic(o_ef, o_rw));
+            }
         }
         out
     }
 
     /// Scalar: `m̄₂ = √(C·λs / (V*·(λf+λs)))` when `λs > 0`, else `1`.
     /// The branch becomes a compare mask + blend.
+    ///
+    /// # Safety
+    /// Caller must have verified AVX2 support (`runtime_supported()`).
     #[target_feature(enable = "avx2")]
     pub unsafe fn th2_mbar_x8_avx2(pack: &LanePack) -> [f64; LANES] {
         let mut out = [0.0; LANES];
         for half in 0..2 {
-            let zero = _mm256_setzero_pd();
-            let one = _mm256_set1_pd(1.0);
-            let lf = load(&pack.lambda_fail, half);
-            let ls = load(&pack.lambda_silent, half);
-            let m_bar = _mm256_sqrt_pd(_mm256_div_pd(
-                _mm256_mul_pd(load(&pack.checkpoint, half), ls),
-                _mm256_mul_pd(load(&pack.guaranteed_verif, half), _mm256_add_pd(lf, ls)),
-            ));
-            let silent = _mm256_cmp_pd::<_CMP_GT_OQ>(ls, zero);
-            store(&mut out, half, _mm256_blendv_pd(one, m_bar, silent));
+            // SAFETY: `half ∈ {0, 1}` satisfies the in-bounds contract of
+            // `load`/`store`; AVX2 availability is this fn's own caller
+            // contract, forwarded to the helpers.
+            unsafe {
+                let zero = _mm256_setzero_pd();
+                let one = _mm256_set1_pd(1.0);
+                let lf = load(&pack.lambda_fail, half);
+                let ls = load(&pack.lambda_silent, half);
+                let m_bar = _mm256_sqrt_pd(_mm256_div_pd(
+                    _mm256_mul_pd(load(&pack.checkpoint, half), ls),
+                    _mm256_mul_pd(load(&pack.guaranteed_verif, half), _mm256_add_pd(lf, ls)),
+                ));
+                let silent = _mm256_cmp_pd::<_CMP_GT_OQ>(ls, zero);
+                store(&mut out, half, _mm256_blendv_pd(one, m_bar, silent));
+            }
         }
         out
     }
@@ -308,37 +386,45 @@ mod avx2 {
     /// `m̄₃ = (ū−2)/r + 2`. Branches become masks; `_mm256_max_pd` returns
     /// its second operand on a NaN first operand, matching `f64::max`'s
     /// NaN-ignoring behaviour for the `√` of a negative product.
+    ///
+    /// # Safety
+    /// Caller must have verified AVX2 support (`runtime_supported()`).
     #[target_feature(enable = "avx2")]
     pub unsafe fn th3_mbar_x8_avx2(pack: &LanePack) -> [f64; LANES] {
         let mut out = [0.0; LANES];
         for half in 0..2 {
-            let zero = _mm256_setzero_pd();
-            let two = _mm256_set1_pd(2.0);
-            let lf = load(&pack.lambda_fail, half);
-            let ls = load(&pack.lambda_silent, half);
-            let r = load(&pack.recall, half);
-            let v = load(&pack.partial_verif, half);
-            let two_minus_r = _mm256_sub_pd(two, r);
-            let a = _mm256_div_pd(v, r);
-            let b = _mm256_sub_pd(
-                _mm256_add_pd(
-                    load(&pack.guaranteed_verif, half),
-                    load(&pack.checkpoint, half),
-                ),
-                _mm256_div_pd(_mm256_mul_pd(v, two_minus_r), r),
-            );
-            let c = _mm256_div_pd(_mm256_add_pd(lf, ls), two);
-            let d = _mm256_div_pd(_mm256_mul_pd(ls, two_minus_r), two);
-            let u_min = two_minus_r;
-            let s = _mm256_sqrt_pd(_mm256_div_pd(_mm256_mul_pd(b, d), _mm256_mul_pd(a, c)));
-            let closed = _mm256_max_pd(s, u_min);
-            let take_closed = _mm256_and_pd(
-                _mm256_cmp_pd::<_CMP_GT_OQ>(b, zero),
-                _mm256_cmp_pd::<_CMP_GT_OQ>(d, zero),
-            );
-            let u_bar = _mm256_blendv_pd(u_min, closed, take_closed);
-            let m_bar = _mm256_add_pd(_mm256_div_pd(_mm256_sub_pd(u_bar, two), r), two);
-            store(&mut out, half, m_bar);
+            // SAFETY: `half ∈ {0, 1}` satisfies the in-bounds contract of
+            // `load`/`store`; AVX2 availability is this fn's own caller
+            // contract, forwarded to the helpers.
+            unsafe {
+                let zero = _mm256_setzero_pd();
+                let two = _mm256_set1_pd(2.0);
+                let lf = load(&pack.lambda_fail, half);
+                let ls = load(&pack.lambda_silent, half);
+                let r = load(&pack.recall, half);
+                let v = load(&pack.partial_verif, half);
+                let two_minus_r = _mm256_sub_pd(two, r);
+                let a = _mm256_div_pd(v, r);
+                let b = _mm256_sub_pd(
+                    _mm256_add_pd(
+                        load(&pack.guaranteed_verif, half),
+                        load(&pack.checkpoint, half),
+                    ),
+                    _mm256_div_pd(_mm256_mul_pd(v, two_minus_r), r),
+                );
+                let c = _mm256_div_pd(_mm256_add_pd(lf, ls), two);
+                let d = _mm256_div_pd(_mm256_mul_pd(ls, two_minus_r), two);
+                let u_min = two_minus_r;
+                let s = _mm256_sqrt_pd(_mm256_div_pd(_mm256_mul_pd(b, d), _mm256_mul_pd(a, c)));
+                let closed = _mm256_max_pd(s, u_min);
+                let take_closed = _mm256_and_pd(
+                    _mm256_cmp_pd::<_CMP_GT_OQ>(b, zero),
+                    _mm256_cmp_pd::<_CMP_GT_OQ>(d, zero),
+                );
+                let u_bar = _mm256_blendv_pd(u_min, closed, take_closed);
+                let m_bar = _mm256_add_pd(_mm256_div_pd(_mm256_sub_pd(u_bar, two), r), two);
+                store(&mut out, half, m_bar);
+            }
         }
         out
     }
@@ -349,6 +435,10 @@ use avx2::{h2_x8_avx2, h3_x8_avx2, h4_x8_avx2, th2_mbar_x8_avx2, th3_mbar_x8_avx
 
 #[cfg(test)]
 mod tests {
+    // Tests pin exact values on purpose (bit-stability is the contract
+    // under test); tolerance comparisons would weaken them.
+    #![allow(clippy::float_cmp)]
+
     use super::*;
     use crate::scenario::{reference_scenarios, validation_scenarios};
 
@@ -412,6 +502,37 @@ mod tests {
                             "n={n} m={m} lane {l}"
                         );
                     }
+                }
+            }
+        }
+    }
+
+    /// Pins each `*_avx2` kernel against its named `*_scalar` twin directly
+    /// (not through the dispatcher), so the pairing `xtask lint` enforces is
+    /// the pairing this test exercises.
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn named_avx2_kernels_match_their_scalar_twins() {
+        if !runtime_supported() {
+            eprintln!("skipping AVX2 twin pin: host lacks AVX2");
+            return;
+        }
+        for pack in packs() {
+            let ms = [1.0, 2.0, 3.0, 5.0, 8.0, 13.0, 21.0, 34.0];
+            let ns = [1.0, 2.0, 3.0, 4.0, 1.0, 2.0, 3.0, 4.0];
+            // SAFETY: `runtime_supported()` verified AVX2 just above.
+            let pairs = unsafe {
+                [
+                    (h2_x8_avx2(&pack, &ms), h2_x8_scalar(&pack, &ms)),
+                    (h3_x8_avx2(&pack, &ms), h3_x8_scalar(&pack, &ms)),
+                    (h4_x8_avx2(&pack, &ns, &ms), h4_x8_scalar(&pack, &ns, &ms)),
+                    (th2_mbar_x8_avx2(&pack), th2_mbar_x8_scalar(&pack)),
+                    (th3_mbar_x8_avx2(&pack), th3_mbar_x8_scalar(&pack)),
+                ]
+            };
+            for (k, (wide, narrow)) in pairs.iter().enumerate() {
+                for l in 0..LANES {
+                    assert_eq!(wide[l].to_bits(), narrow[l].to_bits(), "pair {k} lane {l}");
                 }
             }
         }

@@ -305,6 +305,10 @@ fn push_segment(out: &mut Vec<CompiledChunk>, beta: &[f64], segment_work: f64) {
 
 #[cfg(test)]
 mod tests {
+    // Tests pin exact values on purpose (bit-stability is the contract
+    // under test); tolerance comparisons would weaken them.
+    #![allow(clippy::float_cmp)]
+
     use super::*;
 
     #[test]

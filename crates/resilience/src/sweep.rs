@@ -456,6 +456,10 @@ pub fn grid_spec(per_axis: usize) -> SweepSpec {
 
 #[cfg(test)]
 mod tests {
+    // Tests pin exact values on purpose (bit-stability is the contract
+    // under test); tolerance comparisons would weaken them.
+    #![allow(clippy::float_cmp)]
+
     use super::*;
     use crate::scenario::reference_scenarios;
 

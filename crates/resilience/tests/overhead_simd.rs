@@ -80,6 +80,7 @@ fn batch_matches_per_cell_theorem4_over_scenarios() {
 }
 
 #[test]
+#[cfg_attr(miri, ignore = "8k-cell grid sample: minutes under Miri's interpreter")]
 fn batch_matches_per_cell_theorem4_over_grid_samples() {
     // 7³ = 343 cells in full plus a strided 20³ sample: covers every recall
     // value, many platform spans, and ragged (non-multiple-of-8) tails.

@@ -267,6 +267,10 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(
+        miri,
+        ignore = "Monte-Carlo volume: minutes-to-hours under Miri's interpreter"
+    )]
     fn stream_emits_exactly_the_requested_replications() {
         for reps in [1u64, 7, 127, 128, 129, 1000] {
             let out = collect(&BatchEngine::default(), reps, 42);
@@ -348,6 +352,10 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(
+        miri,
+        ignore = "Monte-Carlo volume: minutes-to-hours under Miri's interpreter"
+    )]
     fn lane_count_does_not_change_the_distribution_only_pairing() {
         // Different lane counts repartition replications over different
         // stream splits, so outputs differ — but each is self-deterministic

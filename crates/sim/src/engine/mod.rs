@@ -124,6 +124,8 @@ pub trait Engine: Sync {
 /// enforces this before touching the RNG.
 pub(crate) fn assert_committable(pattern: &CompiledPattern, platform: &Platform) {
     assert!(
+        // float-cmp: λ_s is a configuration value; the guard is only waived
+        // when silent errors are literally disabled.
         pattern.verified || platform.lambda_silent == 0.0,
         "unverified pattern under silent errors would commit corrupted state"
     );

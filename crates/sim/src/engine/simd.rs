@@ -132,21 +132,26 @@ unsafe fn clear_mask_avx2(
     p: &Program,
 ) -> u8 {
     use core::arch::x86_64::*;
-    let dur = _mm256_set1_pd(p.total_duration);
-    let work = _mm256_set1_pd(p.total_work);
-    let f_lo = _mm256_loadu_pd(fail_cd.as_ptr());
-    let f_hi = _mm256_loadu_pd(fail_cd.as_ptr().add(4));
-    let s_lo = _mm256_loadu_pd(silent_cd.as_ptr());
-    let s_hi = _mm256_loadu_pd(silent_cd.as_ptr().add(4));
-    let lo = _mm256_and_pd(
-        _mm256_cmp_pd::<_CMP_GE_OQ>(f_lo, dur),
-        _mm256_cmp_pd::<_CMP_GE_OQ>(s_lo, work),
-    );
-    let hi = _mm256_and_pd(
-        _mm256_cmp_pd::<_CMP_GE_OQ>(f_hi, dur),
-        _mm256_cmp_pd::<_CMP_GE_OQ>(s_hi, work),
-    );
-    (_mm256_movemask_pd(lo) as u8) | ((_mm256_movemask_pd(hi) as u8) << 4)
+    // SAFETY: the four unaligned loads read 4 lanes at offsets 0 and 4 of
+    // 8-lane arrays, so every access is in bounds; AVX2 availability is
+    // this fn's own caller contract.
+    unsafe {
+        let dur = _mm256_set1_pd(p.total_duration);
+        let work = _mm256_set1_pd(p.total_work);
+        let f_lo = _mm256_loadu_pd(fail_cd.as_ptr());
+        let f_hi = _mm256_loadu_pd(fail_cd.as_ptr().add(4));
+        let s_lo = _mm256_loadu_pd(silent_cd.as_ptr());
+        let s_hi = _mm256_loadu_pd(silent_cd.as_ptr().add(4));
+        let lo = _mm256_and_pd(
+            _mm256_cmp_pd::<_CMP_GE_OQ>(f_lo, dur),
+            _mm256_cmp_pd::<_CMP_GE_OQ>(s_lo, work),
+        );
+        let hi = _mm256_and_pd(
+            _mm256_cmp_pd::<_CMP_GE_OQ>(f_hi, dur),
+            _mm256_cmp_pd::<_CMP_GE_OQ>(s_hi, work),
+        );
+        (_mm256_movemask_pd(lo) as u8) | ((_mm256_movemask_pd(hi) as u8) << 4)
+    }
 }
 
 /// The wide-SIMD backend.
@@ -429,6 +434,10 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(
+        miri,
+        ignore = "Monte-Carlo volume: minutes-to-hours under Miri's interpreter"
+    )]
     fn stream_emits_exactly_the_requested_replications() {
         for reps in [1u64, 7, 8, 9, 31, 32, 33, 1000] {
             let out = collect(&SimdEngine::default(), reps, 42);
@@ -445,6 +454,10 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(
+        miri,
+        ignore = "Monte-Carlo volume: minutes-to-hours under Miri's interpreter"
+    )]
     fn scalar_fallback_is_bit_identical_to_the_vector_path() {
         // On AVX2 hosts this compares the intrinsic mask against the scalar
         // one over real workloads; elsewhere both runs take the scalar path
@@ -463,6 +476,40 @@ mod tests {
                 collect(&scalar, reps, seed),
                 "reps {reps} seed {seed}"
             );
+        }
+    }
+
+    /// Pins `clear_mask_avx2` against `clear_mask_scalar` by name (the pair
+    /// `xtask lint` simd-parity enforces), over countdowns crafted to sit
+    /// exactly on, just under, and just over the compare boundaries — plus
+    /// the `0.0` and `+∞` extremes the drain logic relies on.
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn clear_mask_twins_are_bit_identical() {
+        if !SimdEngine::runtime_supported() {
+            eprintln!("skipping AVX2 mask pin: host lacks AVX2");
+            return;
+        }
+        let p = Platform::new(9.46e-7, 3.38e-6);
+        let c = costs();
+        let pat = Pattern::GuaranteedSegments {
+            work: 20_000.0,
+            segments: 3,
+        }
+        .compile();
+        let prog = Program::compile(&pat, &p, &c);
+        let edges = |x: f64| [x - 1.0, x, x + 1.0, 0.0, f64::INFINITY, 2.0 * x, 0.5 * x, x];
+        let fail_edges = edges(prog.total_duration);
+        let silent_edges = edges(prog.total_work);
+        for rot in 0..LANE_WIDTH {
+            let fail_cd: [f64; LANE_WIDTH] =
+                std::array::from_fn(|l| fail_edges[(l + rot) % LANE_WIDTH]);
+            let silent_cd: [f64; LANE_WIDTH] =
+                std::array::from_fn(|l| silent_edges[(3 * l + rot) % LANE_WIDTH]);
+            // SAFETY: `runtime_supported()` verified AVX2 just above.
+            let wide = unsafe { clear_mask_avx2(&fail_cd, &silent_cd, &prog) };
+            let narrow = clear_mask_scalar(&fail_cd, &silent_cd, &prog);
+            assert_eq!(wide, narrow, "rotation {rot}");
         }
     }
 
@@ -518,6 +565,10 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(
+        miri,
+        ignore = "Monte-Carlo volume: minutes-to-hours under Miri's interpreter"
+    )]
     fn lane_count_does_not_change_the_distribution_only_pairing() {
         let narrow = collect(
             &SimdEngine {
@@ -567,6 +618,10 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(
+        miri,
+        ignore = "Monte-Carlo volume: minutes-to-hours under Miri's interpreter"
+    )]
     fn drain_respects_remaining_quotas_exactly() {
         // Tiny rates: the very first drain would cover far more than the
         // quota; the clamp must stop at exactly `reps` emissions.

@@ -516,6 +516,10 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(
+        miri,
+        ignore = "Monte-Carlo volume: minutes-to-hours under Miri's interpreter"
+    )]
     fn simulated_sweep_is_reproducible() {
         let spec = small_spec();
         let sim = Some(SimSettings {
@@ -533,6 +537,10 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(
+        miri,
+        ignore = "Monte-Carlo volume: minutes-to-hours under Miri's interpreter"
+    )]
     fn batch_backend_shards_reproducibly_too() {
         let spec = small_spec();
         let sim = Some(SimSettings {
@@ -551,6 +559,10 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(
+        miri,
+        ignore = "Monte-Carlo volume: minutes-to-hours under Miri's interpreter"
+    )]
     fn simd_backend_shards_reproducibly_too() {
         let spec = small_spec();
         let sim = Some(SimSettings {

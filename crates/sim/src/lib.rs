@@ -25,6 +25,10 @@
 //! `tests/backends.rs` pins the event backend to captured goldens and the
 //! two backends to each other within overlapping 99% confidence intervals.
 
+// Unsafe is confined to `engine::simd` (on the `xtask lint` allowlist), and
+// every operation inside an `unsafe fn` must restate its own obligations.
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub mod engine;
 pub mod executor;
 pub mod rng;

@@ -326,6 +326,10 @@ pub fn run_replications(
 
 #[cfg(test)]
 mod tests {
+    // Tests pin exact values on purpose (bit-stability is the contract
+    // under test); tolerance comparisons would weaken them.
+    #![allow(clippy::float_cmp)]
+
     use super::*;
 
     use crate::engine::execute_pattern;
@@ -355,6 +359,10 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(
+        miri,
+        ignore = "Monte-Carlo volume: minutes-to-hours under Miri's interpreter"
+    )]
     fn thread_count_does_not_change_totals_only_pairing() {
         // Different thread counts repartition the same workload; counts stay
         // plausible and the mean stays within joint confidence intervals.
@@ -500,6 +508,10 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(
+        miri,
+        ignore = "Monte-Carlo volume: minutes-to-hours under Miri's interpreter"
+    )]
     fn batch_backend_is_deterministic_and_statistically_consistent() {
         let (p, c, pat) = setup();
         let batch_cfg = RunConfig {

@@ -13,6 +13,12 @@
 //!   executor era), so the refactor provably changed nothing and future
 //!   "optimizations" of the reference backend fail loudly.
 
+// Every test in this file is a Monte-Carlo or full-grid acceptance run;
+// under Miri's interpreter each would take minutes to hours, so the whole
+// file is compiled out. Memory-safety coverage for the same code paths
+// comes from the small cfg-gated unit tests in `src/`.
+#![cfg(not(miri))]
+
 use resilience::{reference_scenarios, validation_scenarios, Scenario, Theorem};
 use sim::{
     run_replications, Backend, BatchEngine, Engine, EventEngine, Rng, RunConfig, SimdEngine,

@@ -2,6 +2,12 @@
 //! loop over the 1,000-cell canonical grid, and the optimum cache collapsing
 //! repeated cells.
 
+// Every test in this file is a Monte-Carlo or full-grid acceptance run;
+// under Miri's interpreter each would take minutes to hours, so the whole
+// file is compiled out. Memory-safety coverage for the same code paths
+// comes from the small cfg-gated unit tests in `src/`.
+#![cfg(not(miri))]
+
 use resilience::cache::OptimumCache;
 use resilience::sweep::{grid_spec, SweepSpec, Theorem};
 use resilience::{reference_scenarios, Pattern};

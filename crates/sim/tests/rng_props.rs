@@ -4,11 +4,16 @@
 //! injectivity of the per-cell seed derivation — the properties every
 //! backend's statistical guarantees stand on.
 
+// Tests pin exact values on purpose (bit-stability is the contract under
+// test); tolerance comparisons would weaken them.
+#![allow(clippy::float_cmp)]
+
 use sim::{cell_seed, exp_inverse_cdf, LaneRng, Rng};
 use stats::OnlineStats;
 use std::collections::HashSet;
 
 #[test]
+#[cfg_attr(miri, ignore = "100k draws: minutes under Miri's interpreter")]
 fn exponential_mean_and_variance_match_theory_over_1e5_draws() {
     for (seed, rate) in [(1u64, 0.25f64), (2, 1.0), (3, 40.0)] {
         let mut rng = Rng::new(seed);

@@ -8,6 +8,12 @@
 //! here keep λ·W small enough that the truncation bias stays well inside the
 //! Monte-Carlo confidence interval at the chosen replication counts.
 
+// Every test in this file is a Monte-Carlo or full-grid acceptance run;
+// under Miri's interpreter each would take minutes to hours, so the whole
+// file is compiled out. Memory-safety coverage for the same code paths
+// comes from the small cfg-gated unit tests in `src/`.
+#![cfg(not(miri))]
+
 use resilience::{
     theorem1, theorem2, theorem3, theorem4, validation_scenarios, CostModel, PatternOptimum,
     Platform,

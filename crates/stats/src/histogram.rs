@@ -88,6 +88,9 @@ impl Histogram {
     ///
     /// # Panics
     /// Panics when the ranges or bin counts differ.
+    // Exact bin-edge equality is the point: merging is only sound between
+    // histograms built from the *same* bin-edge values, not nearby ones.
+    #[allow(clippy::float_cmp)]
     pub fn merge(&mut self, other: &Histogram) {
         assert!(
             self.lo == other.lo && self.hi == other.hi && self.counts.len() == other.counts.len(),
@@ -120,6 +123,10 @@ impl Histogram {
 
 #[cfg(test)]
 mod tests {
+    // Tests pin exact values on purpose (bit-stability is the contract
+    // under test); tolerance comparisons would weaken them.
+    #![allow(clippy::float_cmp)]
+
     use super::*;
 
     #[test]

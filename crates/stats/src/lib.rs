@@ -10,6 +10,10 @@
 //! * [`table`] — fixed-width, byte-stable table formatting for sweep result
 //!   rows.
 
+// Pure accumulation and formatting — no justification for unsafe here.
+// Enforced by `xtask lint` (crate-attrs).
+#![forbid(unsafe_code)]
+
 pub mod histogram;
 pub mod online;
 pub mod rates;

@@ -48,6 +48,10 @@ pub fn platform_rate(mtbf_node_secs: f64, nodes: u64) -> f64 {
 
 #[cfg(test)]
 mod tests {
+    // Tests pin exact values on purpose (bit-stability is the contract
+    // under test); tolerance comparisons would weaken them.
+    #![allow(clippy::float_cmp)]
+
     use super::*;
 
     #[test]

@@ -57,7 +57,10 @@ impl Summary {
     /// Relative deviation of `value` from the mean (`|v−μ|/|μ|`, infinite
     /// when the mean is zero and the value is not).
     pub fn rel_deviation(&self, value: f64) -> f64 {
+        // float-cmp: exact-zero sentinel — only a literally zero mean makes
+        // the ratio undefined; near-zero means should still divide.
         if self.mean == 0.0 {
+            // float-cmp: same sentinel, for the 0/0 case.
             if value == 0.0 {
                 0.0
             } else {
@@ -81,6 +84,10 @@ impl fmt::Display for Summary {
 
 #[cfg(test)]
 mod tests {
+    // Tests pin exact values on purpose (bit-stability is the contract
+    // under test); tolerance comparisons would weaken them.
+    #![allow(clippy::float_cmp)]
+
     use super::*;
 
     #[test]

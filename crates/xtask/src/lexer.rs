@@ -1,0 +1,262 @@
+//! A hand-rolled Rust *surface* lexer: strips comments and literal contents
+//! from source text while preserving line/column structure, so downstream
+//! lints can scan for tokens without being fooled by strings or docs.
+//!
+//! This is deliberately not a parser. The lints only need to know, for each
+//! character of the file, "is this live code or inert text?" — everything
+//! else (word boundaries, attribute shapes, brace depths) is recovered by
+//! small scanners over the stripped text. Handled surface forms:
+//!
+//! * line comments (`//`, `///`, `//!`) — blanked to end of line;
+//! * block comments (`/* … */`), **nested**, as Rust requires;
+//! * string literals (`"…"`, `b"…"`) with escape sequences;
+//! * raw strings (`r"…"`, `r#"…"#`, `br##"…"##`) with any hash depth;
+//! * char/byte-char literals (`'a'`, `'\n'`, `b'\xFF'`, `'\u{1F980}'`),
+//!   disambiguated from lifetimes/labels (`'static`, `'outer:`) by
+//!   lookahead: a `'` opens a literal only when an escape follows or a
+//!   closing `'` sits one character away.
+//!
+//! Every stripped character becomes a space (newlines survive), so byte
+//! offsets within a line stay meaningful for diagnostics.
+
+/// Replaces comments and the contents of string/char literals with spaces.
+/// The output has exactly the same line structure as the input.
+pub fn strip(src: &str) -> String {
+    let chars: Vec<char> = src.chars().collect();
+    let n = chars.len();
+    let mut out = String::with_capacity(src.len());
+    let mut i = 0;
+    // Last character emitted as live code — used to keep `r`/`b` raw-string
+    // prefixes from triggering inside identifiers like `ptr` or `rb`.
+    let mut prev_code: Option<char> = None;
+
+    let blank = |c: char| if c == '\n' { '\n' } else { ' ' };
+
+    while i < n {
+        let c = chars[i];
+
+        // Line comment.
+        if c == '/' && i + 1 < n && chars[i + 1] == '/' {
+            while i < n && chars[i] != '\n' {
+                out.push(' ');
+                i += 1;
+            }
+            continue;
+        }
+
+        // Block comment (nested).
+        if c == '/' && i + 1 < n && chars[i + 1] == '*' {
+            let mut depth = 0usize;
+            while i < n {
+                if chars[i] == '/' && i + 1 < n && chars[i + 1] == '*' {
+                    depth += 1;
+                    out.push(' ');
+                    out.push(' ');
+                    i += 2;
+                } else if chars[i] == '*' && i + 1 < n && chars[i + 1] == '/' {
+                    depth -= 1;
+                    out.push(' ');
+                    out.push(' ');
+                    i += 2;
+                    if depth == 0 {
+                        break;
+                    }
+                } else {
+                    out.push(blank(chars[i]));
+                    i += 1;
+                }
+            }
+            continue;
+        }
+
+        // Raw string: optional `b`, then `r`, hashes, `"`. Only when the
+        // prefix does not continue an identifier.
+        if (c == 'r' || c == 'b') && !prev_code.is_some_and(|p| p.is_alphanumeric() || p == '_') {
+            let mut j = i;
+            if chars[j] == 'b' && j + 1 < n && chars[j + 1] == 'r' {
+                j += 1;
+            }
+            if chars[j] == 'r' {
+                let mut k = j + 1;
+                while k < n && chars[k] == '#' {
+                    k += 1;
+                }
+                if k < n && chars[k] == '"' {
+                    let hashes = k - (j + 1);
+                    // Blank the prefix and opening quote.
+                    for _ in i..=k {
+                        out.push(' ');
+                    }
+                    i = k + 1;
+                    // Consume until `"` followed by `hashes` hashes.
+                    while i < n {
+                        if chars[i] == '"'
+                            && chars[i + 1..]
+                                .iter()
+                                .take(hashes)
+                                .filter(|&&h| h == '#')
+                                .count()
+                                == hashes
+                        {
+                            for _ in 0..=hashes {
+                                out.push(' ');
+                            }
+                            i += 1 + hashes;
+                            break;
+                        }
+                        out.push(blank(chars[i]));
+                        i += 1;
+                    }
+                    prev_code = None;
+                    continue;
+                }
+            }
+        }
+
+        // Plain (or byte) string literal. A preceding `b` has already been
+        // emitted as code; harmless.
+        if c == '"' {
+            out.push(' ');
+            i += 1;
+            while i < n {
+                if chars[i] == '\\' && i + 1 < n {
+                    out.push(' ');
+                    out.push(blank(chars[i + 1]));
+                    i += 2;
+                    continue;
+                }
+                let done = chars[i] == '"';
+                out.push(if done { ' ' } else { blank(chars[i]) });
+                i += 1;
+                if done {
+                    break;
+                }
+            }
+            prev_code = None;
+            continue;
+        }
+
+        // Char literal vs lifetime/label.
+        if c == '\'' {
+            let is_escape = i + 1 < n && chars[i + 1] == '\\';
+            let is_short = i + 2 < n && chars[i + 2] == '\'' && chars[i + 1] != '\'';
+            if is_escape || is_short {
+                out.push(' ');
+                i += 1;
+                while i < n {
+                    if chars[i] == '\\' && i + 1 < n {
+                        out.push(' ');
+                        out.push(blank(chars[i + 1]));
+                        i += 2;
+                        continue;
+                    }
+                    let done = chars[i] == '\'';
+                    out.push(' ');
+                    i += 1;
+                    if done {
+                        break;
+                    }
+                }
+                prev_code = None;
+                continue;
+            }
+            // Lifetime or label: live code.
+        }
+
+        out.push(c);
+        if !c.is_whitespace() {
+            prev_code = Some(c);
+        }
+        i += 1;
+    }
+    out
+}
+
+/// True when `line[pos..]` starts with `word` at a word boundary on both
+/// sides (word characters: alphanumerics and `_`).
+fn word_at(line: &[char], pos: usize, word: &str) -> bool {
+    let w: Vec<char> = word.chars().collect();
+    if pos + w.len() > line.len() || line[pos..pos + w.len()] != w[..] {
+        return false;
+    }
+    let ok_left = pos == 0 || !(line[pos - 1].is_alphanumeric() || line[pos - 1] == '_');
+    let after = pos + w.len();
+    let ok_right = after >= line.len() || !(line[after].is_alphanumeric() || line[after] == '_');
+    ok_left && ok_right
+}
+
+/// Byte-agnostic word search: all char positions where `word` occurs as a
+/// whole word in `line`.
+pub fn word_positions(line: &str, word: &str) -> Vec<usize> {
+    let chars: Vec<char> = line.chars().collect();
+    (0..chars.len())
+        .filter(|&p| word_at(&chars, p, word))
+        .collect()
+}
+
+/// Whether `word` occurs as a whole word anywhere in `line`.
+pub fn has_word(line: &str, word: &str) -> bool {
+    !word_positions(line, word).is_empty()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stripped(s: &str) -> String {
+        strip(s)
+    }
+
+    #[test]
+    fn line_structure_is_preserved() {
+        let src = "a\n// unsafe\nb\n";
+        let out = stripped(src);
+        assert_eq!(out.lines().count(), src.lines().count());
+        assert!(!out.contains("unsafe"));
+        assert!(out.contains('a') && out.contains('b'));
+    }
+
+    #[test]
+    fn strings_are_blanked_but_code_survives() {
+        let out = stripped(r#"let x = "unsafe thread::spawn"; unsafe {}"#);
+        assert_eq!(word_positions(&out, "unsafe").len(), 1);
+        assert!(!out.contains("spawn"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let out = stripped("/* outer /* unsafe */ still comment */ fn f() {}");
+        assert!(!out.contains("unsafe"));
+        assert!(out.contains("fn f()"));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let out = stripped(r###"let s = r#"quote " unsafe "#; let t = 1;"###);
+        assert!(!out.contains("unsafe"));
+        assert!(out.contains("let t = 1;"));
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes() {
+        let out = stripped("fn f<'a>(x: &'a str) { let c = 'u'; let d = '\\n'; }");
+        assert!(out.contains("'a>"), "lifetime must survive: {out}");
+        assert!(out.contains("&'a str"));
+        assert!(!out.contains("'u'"));
+    }
+
+    #[test]
+    fn escaped_quote_does_not_end_string() {
+        let out = stripped(r#"let s = "a\"unsafe"; let x = 2;"#);
+        assert!(!out.contains("unsafe"));
+        assert!(out.contains("let x = 2;"));
+    }
+
+    #[test]
+    fn word_boundaries() {
+        assert!(has_word("unsafe {", "unsafe"));
+        assert!(!has_word("unsafe_code", "unsafe"));
+        assert!(!has_word("forbid(unsafe_code)", "unsafe"));
+        assert!(has_word("deny(unsafe)", "unsafe"));
+    }
+}

@@ -1,0 +1,64 @@
+#![forbid(unsafe_code)]
+//! `cargo run -p xtask -- lint` — the repo-native static-analysis pass.
+//!
+//! Walks every `.rs` file under `crates/`, runs the lints described in
+//! `xtask::lints`, prints one `path:line: [lint] message` diagnostic per
+//! finding (plus GitHub error annotations when running under Actions), and
+//! exits nonzero when anything trips. See README "Correctness tooling".
+
+use xtask::{workspace_root, Workspace};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => lint(),
+        Some(other) => {
+            eprintln!("xtask: unknown command `{other}`\n\nusage: cargo run -p xtask -- lint");
+            std::process::exit(2);
+        }
+        None => {
+            eprintln!("usage: cargo run -p xtask -- lint");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn lint() {
+    let root = workspace_root();
+    let ws = match Workspace::discover(&root) {
+        Ok(ws) => ws,
+        Err(e) => {
+            eprintln!(
+                "xtask lint: cannot read workspace under {}: {e}",
+                root.display()
+            );
+            std::process::exit(2);
+        }
+    };
+    let findings = ws.lint();
+    let annotate = std::env::var_os("GITHUB_ACTIONS").is_some();
+    for f in &findings {
+        println!("{f}");
+        if annotate {
+            // One annotation per finding so the offending file:line shows up
+            // directly on the PR diff.
+            println!(
+                "::error file={},line={}::[{}] {}",
+                f.path,
+                f.line,
+                f.lint.name(),
+                f.message
+            );
+        }
+    }
+    if findings.is_empty() {
+        println!(
+            "xtask lint: clean ({} files, {} lines)",
+            ws.files.len(),
+            ws.files.iter().map(|f| f.raw_lines.len()).sum::<usize>()
+        );
+    } else {
+        eprintln!("xtask lint: {} finding(s)", findings.len());
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,5 @@
+use std::collections::HashMap;
+
+pub fn index(keys: &[u64]) -> HashMap<u64, usize> {
+    keys.iter().enumerate().map(|(i, k)| (*k, i)).collect()
+}

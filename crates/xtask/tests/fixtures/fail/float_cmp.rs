@@ -1,0 +1,3 @@
+pub fn is_zero(x: f64) -> bool {
+    x == 0.0
+}

@@ -1,0 +1,11 @@
+/// # Safety
+/// Caller must have verified AVX2 support.
+#[target_feature(enable = "avx2")]
+pub unsafe fn sum_x4_avx2(xs: &[f64; 4]) -> f64 {
+    xs[0] + xs[1] + xs[2] + xs[3]
+}
+
+/// Scalar twin of [`sum_x4_avx2`].
+pub fn sum_x4_scalar(xs: &[f64; 4]) -> f64 {
+    xs[0] + xs[1] + xs[2] + xs[3]
+}

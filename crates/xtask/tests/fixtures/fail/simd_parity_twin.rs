@@ -1,0 +1,6 @@
+/// # Safety
+/// Caller must have verified AVX2 support.
+#[target_feature(enable = "avx2")]
+pub unsafe fn sum_x4_avx2(xs: &[f64; 4]) -> f64 {
+    xs[0] + xs[1] + xs[2] + xs[3]
+}

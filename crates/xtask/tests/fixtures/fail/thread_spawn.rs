@@ -1,0 +1,3 @@
+pub fn run(job: impl FnOnce() + Send + 'static) {
+    std::thread::spawn(job);
+}

@@ -1,0 +1,4 @@
+pub fn first(xs: &[f64]) -> f64 {
+    // SAFETY: in bounds — `xs` is non-empty by contract.
+    unsafe { *xs.get_unchecked(0) }
+}

@@ -1,0 +1,3 @@
+pub fn elapsed_secs(start: std::time::Instant) -> f64 {
+    start.elapsed().as_secs_f64()
+}

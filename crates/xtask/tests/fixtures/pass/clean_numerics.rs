@@ -1,0 +1,12 @@
+pub fn bits_equal(a: f64, b: f64) -> bool {
+    a.to_bits() == b.to_bits()
+}
+
+pub fn is_exactly_zero(x: f64) -> bool {
+    // float-cmp: exact-zero sentinel — documented, so the lint stands down.
+    x == 0.0
+}
+
+pub fn in_unit_interval(x: f64) -> bool {
+    (0.0..=1.0).contains(&x) && x <= 1.0 && x >= 0.0
+}

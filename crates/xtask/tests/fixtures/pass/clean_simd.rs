@@ -1,0 +1,26 @@
+/// # Safety
+/// Caller must have verified AVX2 support.
+#[target_feature(enable = "avx2")]
+pub unsafe fn neg_x4_avx2(xs: &[f64; 4]) -> [f64; 4] {
+    [-xs[0], -xs[1], -xs[2], -xs[3]]
+}
+
+/// Scalar twin of [`neg_x4_avx2`].
+pub fn neg_x4_scalar(xs: &[f64; 4]) -> [f64; 4] {
+    [-xs[0], -xs[1], -xs[2], -xs[3]]
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn twins_agree() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let wide = if std::arch::is_x86_feature_detected!("avx2") {
+            // SAFETY: the feature check just above verified AVX2.
+            unsafe { super::neg_x4_avx2(&xs) }
+        } else {
+            super::neg_x4_scalar(&xs)
+        };
+        assert_eq!(wide, super::neg_x4_scalar(&xs));
+    }
+}
