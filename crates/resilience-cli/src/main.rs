@@ -2,10 +2,10 @@
 //! the sharded sweep executor.
 //!
 //! ```text
-//! resilience-cli [sweep|nodes|mtbf|recall|grid|bench]
+//! resilience-cli [sweep|nodes|mtbf|recall|grid|bench|serve]
 //!                [--reps N] [--threads N] [--seed S] [--grid-size K]
 //!                [--shard I/N] [--engine event|batch|simd|auto]
-//!                [--bench-out PATH] [--guard] [--sweep-only]
+//!                [--bench-out PATH] [--guard] [--sweep-only] [--port P]
 //! ```
 //!
 //! * `sweep`  — the three reference scenarios × Theorems 1–4 (default);
@@ -24,7 +24,15 @@
 //!   into a CI gate (nonzero exit + GitHub error annotation when missed);
 //!   on multicore hosts the threaded 100³ sweep must also beat serial
 //!   outright. `--sweep-only` skips the engine matrix and runs (and
-//!   guards) just the sweep-throughput section — the cheap CI smoke.
+//!   guards) just the sweep-throughput section — the cheap CI smoke;
+//! * `serve`  — the resilience-as-a-service daemon: line-delimited JSON
+//!   optimum/overhead/sweep-cell queries over stdin/stdout, or TCP with
+//!   `--port P` (`--port 0` picks an ephemeral port, announced on stderr).
+//!   Concurrent queries coalesce into batches against the shared optimum
+//!   cache under an adaptive window; see the `resilience-service` crate.
+//!
+//! Each flag belongs to specific subcommands; giving one where it cannot
+//! apply is an error naming the flag, never a silent no-op.
 //!
 //! Every sweep command expands a `SweepSpec` and shards its cells over
 //! `--threads` workers; results stream back in deterministic cell order, so
@@ -104,7 +112,13 @@ struct Args {
     /// `bench --sweep-only`: skip the engine matrix and run (and guard)
     /// only the analytic sweep-throughput section — the cheap CI smoke.
     sweep_only: bool,
+    /// `serve --port P`: TCP daemon port (`0` = ephemeral). `None` with
+    /// `serve` means the stdin/stdout pipe transport.
+    port: Option<u16>,
 }
+
+/// The sweep-table subcommands `--shard` (and the executor) apply to.
+const SWEEP_COMMANDS: [&str; 5] = ["sweep", "nodes", "mtbf", "recall", "grid"];
 
 fn parse_args() -> Args {
     let mut args = Args {
@@ -118,40 +132,78 @@ fn parse_args() -> Args {
         bench_out: "BENCH_engines.json".to_string(),
         guard: false,
         sweep_only: false,
+        port: None,
     };
+    // Which flags actually appeared, so `validate` can reject any that do
+    // not apply to the chosen subcommand (defaults never trip the check).
+    let mut seen: Vec<&'static str> = Vec::new();
+    let mut explicit_command: Option<String> = None;
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < argv.len() {
         match argv[i].as_str() {
-            "sweep" | "nodes" | "mtbf" | "recall" | "grid" | "bench" => {
-                args.command = argv[i].clone()
+            "sweep" | "nodes" | "mtbf" | "recall" | "grid" | "bench" | "serve" => {
+                if let Some(first) = &explicit_command {
+                    die(&format!(
+                        "unexpected second command \"{}\" (already running {first}); \
+                         give exactly one subcommand",
+                        argv[i]
+                    ));
+                }
+                args.command = argv[i].clone();
+                explicit_command = Some(argv[i].clone());
             }
-            "--reps" => args.reps = Some(parse_num("--reps", &take_value(&argv, &mut i))),
+            "--reps" => {
+                seen.push("--reps");
+                args.reps = Some(parse_num("--reps", &take_value(&argv, &mut i)));
+            }
             "--threads" => {
-                args.threads = parse_num("--threads", &take_value(&argv, &mut i)) as usize
+                seen.push("--threads");
+                args.threads = parse_num("--threads", &take_value(&argv, &mut i));
             }
-            "--seed" => args.seed = parse_num("--seed", &take_value(&argv, &mut i)),
+            "--seed" => {
+                seen.push("--seed");
+                args.seed = parse_num("--seed", &take_value(&argv, &mut i));
+            }
             "--grid-size" => {
-                args.grid_size = parse_num("--grid-size", &take_value(&argv, &mut i)) as usize
+                seen.push("--grid-size");
+                args.grid_size = parse_num("--grid-size", &take_value(&argv, &mut i));
             }
-            "--shard" => args.shard = Some(parse_shard(&take_value(&argv, &mut i))),
+            "--shard" => {
+                seen.push("--shard");
+                args.shard = Some(parse_shard(&take_value(&argv, &mut i)));
+            }
             "--engine" => {
+                seen.push("--engine");
                 let v = take_value(&argv, &mut i);
                 args.engine = Backend::parse(&v).unwrap_or_else(|| {
                     die(&format!("--engine must be event, batch, simd or auto: {v}"))
                 });
             }
-            "--bench-out" => args.bench_out = take_value(&argv, &mut i),
-            "--guard" => args.guard = true,
-            "--sweep-only" => args.sweep_only = true,
+            "--bench-out" => {
+                seen.push("--bench-out");
+                args.bench_out = take_value(&argv, &mut i);
+            }
+            "--guard" => {
+                seen.push("--guard");
+                args.guard = true;
+            }
+            "--sweep-only" => {
+                seen.push("--sweep-only");
+                args.sweep_only = true;
+            }
+            "--port" => {
+                seen.push("--port");
+                args.port = Some(parse_num("--port", &take_value(&argv, &mut i)));
+            }
             "--help" | "-h" => {
                 // Through out(), not println!: `--help | head` must exit
                 // quietly instead of panicking on the closed pipe.
                 out(&format!(
-                    "usage: resilience-cli [sweep|nodes|mtbf|recall|grid|bench]\n\
+                    "usage: resilience-cli [sweep|nodes|mtbf|recall|grid|bench|serve]\n\
                      \x20                     [--reps N] [--threads N] [--seed S] [--grid-size K]\n\
                      \x20                     [--shard I/N] [--engine event|batch|simd|auto]\n\
-                     \x20                     [--bench-out PATH] [--guard] [--sweep-only]\n\
+                     \x20                     [--bench-out PATH] [--guard] [--sweep-only] [--port P]\n\
                      \n\
                      \x20 sweep    reference scenarios x theorems 1-4 (default)\n\
                      \x20 nodes    node-count sweep, theorem 4\n\
@@ -163,6 +215,9 @@ fn parse_args() -> Args {
                      \x20          {DEFAULT_BENCH_REPS} replications) plus every engine x every\n\
                      \x20          named scenario, and analytic sweep throughput over the 10^3\n\
                      \x20          and 100^3 grids; writes --bench-out\n\
+                     \x20 serve    resilience-as-a-service daemon: line-delimited JSON queries\n\
+                     \x20          (optimum/overhead/sweep_cell/stats/shutdown) over stdin/stdout,\n\
+                     \x20          or TCP with --port; concurrent queries coalesce into batches\n\
                      \n\
                      \x20 --reps N       Monte-Carlo replications per cell (>= 1; default {DEFAULT_REPS};\n\
                      \x20                grid: only up to --grid-size {GRID_SIM_MAX})\n\
@@ -188,7 +243,10 @@ fn parse_args() -> Args {
                      \x20                {MIN_SWEEP_CELLS_PER_SEC} cells/s ({MIN_SWEEP_CELLS_PER_SEC_MULTICORE} cells/s on multicore\n\
                      \x20                hosts, where threaded losing to serial is also an error)\n\
                      \x20 --sweep-only   bench only: skip the engine matrix; measure (and with\n\
-                     \x20                --guard, gate) only the analytic sweep throughput"
+                     \x20                --guard, gate) only the analytic sweep throughput\n\
+                     \x20 --port P       serve only: listen on 127.0.0.1:P (0 picks an ephemeral\n\
+                     \x20                port, announced as \"listening on ...\" on stderr);\n\
+                     \x20                without --port, serve speaks over stdin/stdout"
                 ));
                 std::process::exit(0);
             }
@@ -196,11 +254,53 @@ fn parse_args() -> Args {
         }
         i += 1;
     }
-    validate(&mut args);
+    validate(&mut args, &seen);
     args
 }
 
-fn validate(args: &mut Args) {
+/// The complaint for a flag that cannot apply to the chosen subcommand,
+/// `None` when the combination is legal. Every message names the flag, in
+/// [`parse_num`]'s diagnostic style — misplaced flags are errors, never
+/// silent no-ops.
+fn flag_misuse(command: &str, reps: Option<u64>, flag: &str) -> Option<String> {
+    match flag {
+        "--guard" | "--sweep-only" | "--bench-out" if command != "bench" => {
+            Some(format!("{flag} applies to bench, not {command}"))
+        }
+        "--shard" if !SWEEP_COMMANDS.contains(&command) => {
+            Some(format!("--shard applies to sweep commands, not {command}"))
+        }
+        "--grid-size" if command != "grid" => {
+            Some(format!("--grid-size applies to grid, not {command}"))
+        }
+        "--port" if command != "serve" => Some(format!("--port applies to serve, not {command}")),
+        "--engine" if command == "bench" => {
+            Some("--engine does not apply to bench (the bench matrix times every engine)".into())
+        }
+        "--engine" if command == "serve" => {
+            Some("--engine applies to simulated sweeps, not serve".into())
+        }
+        "--engine" if command == "grid" && reps.is_none() => {
+            Some("--engine applies to simulated runs; grid without --reps is analytic-only".into())
+        }
+        "--reps" | "--threads" | "--seed" if command == "serve" => Some(format!(
+            "{flag} applies to sweep and bench commands, not serve"
+        )),
+        _ => None,
+    }
+}
+
+fn validate(args: &mut Args, seen: &[&'static str]) {
+    for flag in seen {
+        if let Some(msg) = flag_misuse(&args.command, args.reps, flag) {
+            die(&msg);
+        }
+    }
+    if args.command == "serve" {
+        // Serve takes no sweep/bench flags (all rejected above); the
+        // numeric sanity checks below are sweep/bench concerns.
+        return;
+    }
     if args.reps == Some(0) {
         die("--reps must be at least 1 (zero replications would make every simulated statistic undefined)");
     }
@@ -227,12 +327,6 @@ fn validate(args: &mut Args) {
             GRID_SIM_MAX * GRID_SIM_MAX * GRID_SIM_MAX
         ));
     }
-    if args.shard.is_some() && args.command == "bench" {
-        die("--shard applies to sweep commands, not bench");
-    }
-    if args.sweep_only && args.command != "bench" {
-        die("--sweep-only applies to bench, not sweep commands");
-    }
 }
 
 fn take_value(argv: &[String], i: &mut usize) -> String {
@@ -243,26 +337,42 @@ fn take_value(argv: &[String], i: &mut usize) -> String {
     }
 }
 
-/// Parses one numeric flag value; failures name the flag and the offending
-/// value instead of a generic usage dump.
-fn parse_num(flag: &str, s: &str) -> u64 {
-    match s.parse() {
+/// Parses one numeric flag value *directly into the target type* — no
+/// truncating `as` casts downstream — naming the flag and the offending
+/// value on failure, and distinguishing malformed input from a value that
+/// is a valid integer but out of the flag's range.
+fn parse_num<T: std::str::FromStr>(flag: &str, s: &str) -> T {
+    match s.parse::<T>() {
         Ok(n) => n,
+        Err(_) if s.parse::<u128>().is_ok() => {
+            die(&format!("{flag}: {s} is out of range for this flag"))
+        }
         Err(_) => die(&format!("{flag}: expected integer, got \"{s}\"")),
     }
 }
 
-/// Parses `--shard I/N` (a slice index and the total shard count).
+/// Parses `--shard I/N` (a slice index and the total shard count). Every
+/// rejection names the `I/N` form it expected, in [`parse_num`]'s style.
 fn parse_shard(s: &str) -> (usize, usize) {
-    let parsed = s
+    let Some((i, n)) = s
         .split_once('/')
-        .and_then(|(i, n)| Some((i.parse::<usize>().ok()?, n.parse::<usize>().ok()?)));
-    match parsed {
-        Some((i, n)) if n >= 1 && i < n => (i, n),
-        _ => die(&format!(
+        .and_then(|(i, n)| Some((i.parse::<usize>().ok()?, n.parse::<usize>().ok()?)))
+    else {
+        die(&format!(
             "--shard: expected I/N with 0 <= I < N, got \"{s}\""
-        )),
+        ));
+    };
+    if n == 0 {
+        die(&format!(
+            "--shard: the shard count N in I/N must be at least 1, got \"{s}\""
+        ));
     }
+    if i >= n {
+        die(&format!(
+            "--shard: the slice index I in I/N must satisfy 0 <= I < N, got \"{s}\""
+        ));
+    }
+    (i, n)
 }
 
 fn die(msg: &str) -> ! {
@@ -855,6 +965,17 @@ fn sweep_guard_note(sweep: &SweepBench) -> String {
 
 fn main() {
     let args = parse_args();
+    if args.command == "serve" {
+        let cfg = resilience_service::BatchConfig::default();
+        let served = match args.port {
+            Some(port) => resilience_service::serve_tcp(port, cfg),
+            None => resilience_service::serve_stdio(cfg),
+        };
+        if let Err(e) = served {
+            die(&format!("serve: {e}"));
+        }
+        return;
+    }
     if args.command == "bench" {
         run_bench(&args);
         return;

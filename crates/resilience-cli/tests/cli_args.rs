@@ -1,0 +1,143 @@
+//! Argument-matrix tests: every flag/subcommand combination that cannot
+//! apply must exit nonzero with a diagnostic *naming the flag* — misplaced
+//! flags are errors, never silent no-ops — and the numeric flags must
+//! reject malformed and out-of-range values by name too.
+
+use std::process::Command;
+
+/// Runs the CLI and returns `(exit_success, stderr)`.
+fn run(args: &[&str]) -> (bool, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_resilience-cli"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+/// Asserts the invocation dies (nonzero exit) and that stderr contains
+/// every needle — at minimum the offending flag's name.
+fn assert_dies(args: &[&str], needles: &[&str]) {
+    let (ok, stderr) = run(args);
+    assert!(!ok, "{args:?} unexpectedly succeeded");
+    for needle in needles {
+        assert!(
+            stderr.contains(needle),
+            "{args:?}: stderr does not name {needle:?}:\n{stderr}"
+        );
+    }
+}
+
+#[test]
+fn bench_flags_are_rejected_outside_bench() {
+    for command in ["sweep", "nodes", "mtbf", "recall", "grid", "serve"] {
+        assert_dies(&[command, "--guard"], &["--guard", "bench", command]);
+        assert_dies(
+            &[command, "--sweep-only"],
+            &["--sweep-only", "bench", command],
+        );
+        assert_dies(
+            &[command, "--bench-out", "x.json"],
+            &["--bench-out", "bench", command],
+        );
+    }
+}
+
+#[test]
+fn shard_is_rejected_outside_sweep_commands() {
+    assert_dies(&["bench", "--shard", "0/2"], &["--shard", "bench"]);
+    assert_dies(&["serve", "--shard", "0/2"], &["--shard", "serve"]);
+}
+
+#[test]
+fn grid_size_is_rejected_outside_grid() {
+    for command in ["sweep", "nodes", "mtbf", "recall", "bench", "serve"] {
+        assert_dies(
+            &[command, "--grid-size", "3"],
+            &["--grid-size", "grid", command],
+        );
+    }
+}
+
+#[test]
+fn engine_is_rejected_where_no_simulation_runs() {
+    // grid without --reps is analytic-only: --engine would be ignored.
+    assert_dies(
+        &["grid", "--grid-size", "2", "--engine", "simd"],
+        &["--engine", "analytic"],
+    );
+    // bench times every engine; a single-engine selection cannot apply.
+    assert_dies(&["bench", "--engine", "simd"], &["--engine", "bench"]);
+    assert_dies(&["serve", "--engine", "simd"], &["--engine", "serve"]);
+}
+
+#[test]
+fn serve_rejects_sweep_flags_and_others_reject_port() {
+    for flag in [["--reps", "10"], ["--threads", "2"], ["--seed", "7"]] {
+        assert_dies(&["serve", flag[0], flag[1]], &[flag[0], "serve"]);
+    }
+    for command in ["sweep", "nodes", "mtbf", "recall", "grid", "bench"] {
+        assert_dies(&[command, "--port", "0"], &["--port", "serve", command]);
+    }
+}
+
+#[test]
+fn second_subcommand_token_is_rejected() {
+    assert_dies(&["sweep", "grid"], &["second command", "grid", "sweep"]);
+    assert_dies(&["bench", "bench"], &["second command", "bench"]);
+    assert_dies(&["serve", "sweep"], &["second command", "sweep", "serve"]);
+}
+
+#[test]
+fn numeric_flags_parse_into_their_target_types_with_range_errors() {
+    // Malformed values name the flag.
+    assert_dies(&["sweep", "--reps", "many"], &["--reps", "many"]);
+    assert_dies(&["sweep", "--threads", "-2"], &["--threads", "-2"]);
+    // Valid integers that do not fit the flag's type are *range* errors,
+    // not parse errors — no silent `as` truncation anywhere.
+    assert_dies(
+        &["sweep", "--threads", "99999999999999999999"],
+        &["--threads", "out of range"],
+    );
+    assert_dies(
+        &["grid", "--grid-size", "99999999999999999999"],
+        &["--grid-size", "out of range"],
+    );
+    assert_dies(&["serve", "--port", "65536"], &["--port", "out of range"]);
+}
+
+#[test]
+fn shard_diagnostics_name_the_i_over_n_form() {
+    assert_dies(
+        &["grid", "--shard", "banana"],
+        &["--shard", "I/N", "banana"],
+    );
+    assert_dies(&["grid", "--shard", "3"], &["--shard", "I/N"]);
+    // N = 0 is pinned as its own named rejection: zero shards is not a
+    // degenerate "run nothing", it is an error.
+    assert_dies(&["grid", "--shard", "0/0"], &["--shard", "N", "at least 1"]);
+    assert_dies(&["grid", "--shard", "2/2"], &["--shard", "0 <= I < N"]);
+    assert_dies(&["grid", "--shard", "5/2"], &["--shard", "0 <= I < N"]);
+}
+
+#[test]
+fn valid_combinations_still_run() {
+    let (ok, stderr) = run(&["grid", "--grid-size", "2", "--threads", "2"]);
+    assert!(ok, "{stderr}");
+    let (ok, stderr) = run(&[
+        "grid",
+        "--grid-size",
+        "2",
+        "--reps",
+        "5",
+        "--engine",
+        "batch",
+    ]);
+    assert!(ok, "{stderr}");
+    let (ok, stderr) = run(&[
+        "sweep", "--reps", "5", "--engine", "event", "--shard", "1/3",
+    ]);
+    assert!(ok, "{stderr}");
+}

@@ -1,0 +1,196 @@
+//! End-to-end tests for `resilience-cli serve`: the daemon's response
+//! bytes must equal the same answers rendered from direct library calls,
+//! on both transports (stdin/stdout pipe and TCP), and a `shutdown` query
+//! must ack, close the stream, and exit the process cleanly.
+
+use resilience::{grid_spec, reference_scenarios, Theorem};
+use resilience_service::protocol::{Query, Reply, Request, Response};
+use serde::Serialize;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::process::{Child, Command, Stdio};
+
+/// Deterministic mixed workload with library-computed expected responses.
+fn workload() -> Vec<(String, String)> {
+    let scenarios = reference_scenarios();
+    let spec = grid_spec(10);
+    let mut lines = Vec::new();
+    for (i, theorem) in Theorem::ALL.into_iter().enumerate() {
+        let s = &scenarios[i % scenarios.len()];
+        let id = lines.len() as u64 + 1;
+        let request = Request {
+            id,
+            query: Query::Optimum {
+                platform: s.platform,
+                costs: s.costs,
+                theorem,
+            },
+        };
+        let expected = Response {
+            id,
+            outcome: Ok(Reply::Optimum(theorem.optimize(&s.platform, &s.costs))),
+        };
+        lines.push((request.to_json_string(), expected.to_json_string()));
+
+        let pattern = theorem.optimize(&s.platform, &s.costs).pattern;
+        let id = lines.len() as u64 + 1;
+        let request = Request {
+            id,
+            query: Query::Overhead {
+                pattern: pattern.clone(),
+                platform: s.platform,
+                costs: s.costs,
+            },
+        };
+        let expected = Response {
+            id,
+            outcome: Ok(Reply::Overhead(resilience::first_order_overhead(
+                &pattern,
+                &s.platform,
+                &s.costs,
+            ))),
+        };
+        lines.push((request.to_json_string(), expected.to_json_string()));
+    }
+    for index in [0u64, 137, 999] {
+        let id = lines.len() as u64 + 1;
+        let request = Request {
+            id,
+            query: Query::SweepCell {
+                grid_size: 10,
+                index,
+            },
+        };
+        let cell = spec.cell_at(index as usize);
+        let expected = Response {
+            id,
+            outcome: Ok(Reply::SweepCell {
+                index,
+                name: cell.name.to_string(),
+                theorem: cell.theorem,
+                optimum: cell.theorem.optimize(&cell.platform, &cell.costs),
+            }),
+        };
+        lines.push((request.to_json_string(), expected.to_json_string()));
+    }
+    // An invalid cell must come back as a named-field error, not a crash.
+    let id = lines.len() as u64 + 1;
+    let request = Request {
+        id,
+        query: Query::SweepCell {
+            grid_size: 10,
+            index: 1_000,
+        },
+    };
+    let expected = Response {
+        id,
+        outcome: Err("index: 1000 out of range for the 1000-cell grid".into()),
+    };
+    lines.push((request.to_json_string(), expected.to_json_string()));
+    lines
+}
+
+fn shutdown_line(id: u64) -> (String, String) {
+    let request = Request {
+        id,
+        query: Query::Shutdown,
+    };
+    let expected = Response {
+        id,
+        outcome: Ok(Reply::ShuttingDown),
+    };
+    (request.to_json_string(), expected.to_json_string())
+}
+
+fn spawn_serve(extra: &[&str]) -> Child {
+    Command::new(env!("CARGO_BIN_EXE_resilience-cli"))
+        .arg("serve")
+        .args(extra)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("daemon spawns")
+}
+
+#[test]
+fn pipe_mode_answers_are_byte_identical_to_the_library() {
+    let mut child = spawn_serve(&[]);
+    let lines = workload();
+    let (bye_request, bye_expected) = shutdown_line(9_999);
+
+    let mut stdin = child.stdin.take().expect("stdin");
+    let mut payload = String::new();
+    for (request, _) in &lines {
+        payload.push_str(request);
+        payload.push('\n');
+    }
+    payload.push_str(&bye_request);
+    payload.push('\n');
+    stdin.write_all(payload.as_bytes()).expect("write requests");
+    drop(stdin);
+
+    let stdout = BufReader::new(child.stdout.take().expect("stdout"));
+    let mut got = stdout.lines().map(|l| l.expect("read line"));
+    for (request, expected) in &lines {
+        let line = got.next().unwrap_or_else(|| panic!("EOF before {request}"));
+        assert_eq!(&line, expected, "for request {request}");
+    }
+    assert_eq!(got.next().as_deref(), Some(bye_expected.as_str()));
+    assert_eq!(got.next(), None, "stream must close after the shutdown ack");
+
+    let status = child.wait().expect("daemon exits");
+    assert!(status.success(), "daemon exit status: {status}");
+}
+
+#[test]
+fn tcp_mode_announces_its_port_and_answers_byte_identically() {
+    let mut child = spawn_serve(&["--port", "0"]);
+
+    // Port 0 is ephemeral; the daemon announces the bound address on stderr.
+    let mut stderr = BufReader::new(child.stderr.take().expect("stderr"));
+    let mut announce = String::new();
+    stderr.read_line(&mut announce).expect("read announcement");
+    let addr = announce
+        .trim()
+        .strip_prefix("listening on ")
+        .unwrap_or_else(|| panic!("unexpected announcement: {announce:?}"))
+        .to_owned();
+
+    let mut stream = TcpStream::connect(&addr).expect("connect");
+    let lines = workload();
+    let mut payload = String::new();
+    for (request, _) in &lines {
+        payload.push_str(request);
+        payload.push('\n');
+    }
+    stream
+        .write_all(payload.as_bytes())
+        .expect("write requests");
+
+    let mut reader = BufReader::new(stream.try_clone().expect("clone stream"));
+    for (request, expected) in &lines {
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("read response");
+        assert_eq!(line.trim_end(), expected, "for request {request}");
+    }
+
+    let (bye_request, bye_expected) = shutdown_line(424_242);
+    stream
+        .write_all(format!("{bye_request}\n").as_bytes())
+        .expect("write shutdown");
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("read shutdown ack");
+    assert_eq!(line.trim_end(), bye_expected);
+    let mut rest = String::new();
+    reader.read_to_string(&mut rest).expect("drain to EOF");
+    assert!(rest.is_empty(), "bytes after shutdown ack: {rest:?}");
+
+    let status = child.wait().expect("daemon exits");
+    assert!(status.success(), "daemon exit status: {status}");
+    // The announced port must now refuse connections.
+    assert!(
+        TcpStream::connect(&addr).is_err(),
+        "{addr} still accepting after shutdown"
+    );
+}

@@ -1,0 +1,231 @@
+//! Connection handling: line-delimited JSON over stdin/stdout or TCP.
+//!
+//! Each connection runs a reader and a writer. The reader parses one
+//! [`Request`] per line and submits it to the [`Batcher`] *immediately* —
+//! it never waits for the previous answer — so a client that pipelines
+//! requests gives the worker something to coalesce. The writer sends the
+//! responses back strictly in request order, whatever order the batches
+//! resolved them in, so clients can match answers positionally as well as
+//! by id.
+//!
+//! A `shutdown` query is acknowledged by the connection itself (it never
+//! enters the batch queue): the writer emits the ack, then trips the
+//! server's shutdown trigger. The TCP accept loop wakes, stops accepting,
+//! and joins the remaining connection handlers; connections that are still
+//! open keep answering until their client hangs up.
+
+use crate::batcher::Batcher;
+use crate::protocol::{Query, Reply, Request, Response};
+use serde::{Deserialize, Serialize, Value};
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread;
+
+/// One response the writer owes the client, in request order.
+struct PendingResponse {
+    id: u64,
+    /// `Some` when the batch worker owes the outcome; `None` means
+    /// `immediate` already holds it (parse errors, shutdown acks).
+    from_worker: Option<mpsc::Receiver<Result<Reply, String>>>,
+    immediate: Option<Result<Reply, String>>,
+    /// Trip the server shutdown after writing this response.
+    shutdown_after: bool,
+}
+
+/// Serves one connection: reads requests, writes ordered responses.
+/// Returns when the peer closes its write side or after a `shutdown` ack.
+/// `on_shutdown` is invoked (once) after the shutdown ack is flushed.
+pub fn run_connection<R, W>(
+    reader: R,
+    mut writer: W,
+    batcher: &Batcher,
+    on_shutdown: &(dyn Fn() + Sync),
+) -> io::Result<()>
+where
+    R: BufRead + Send,
+    W: Write,
+{
+    let (tx, rx) = mpsc::channel::<PendingResponse>();
+    thread::scope(|scope| {
+        scope.spawn(move || read_requests(reader, batcher, tx));
+        for pending in rx {
+            let outcome = match pending.from_worker {
+                Some(worker_rx) => worker_rx
+                    .recv()
+                    .unwrap_or_else(|_| Err("batch worker is gone".to_owned())),
+                None => pending
+                    .immediate
+                    .unwrap_or_else(|| Err("internal: empty response slot".to_owned())),
+            };
+            let response = Response {
+                id: pending.id,
+                outcome,
+            };
+            writer.write_all(response.to_json_string().as_bytes())?;
+            writer.write_all(b"\n")?;
+            writer.flush()?;
+            if pending.shutdown_after {
+                on_shutdown();
+                break;
+            }
+        }
+        Ok(())
+    })
+}
+
+/// Reader half: parse each line, submit, and queue the response slot. Stops
+/// at EOF, on a broken channel (writer ended first), or after `shutdown`.
+fn read_requests<R: BufRead>(reader: R, batcher: &Batcher, tx: mpsc::Sender<PendingResponse>) {
+    for line in reader.lines() {
+        let Ok(line) = line else {
+            return;
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let pending = match Request::from_json_str(&line) {
+            Ok(Request {
+                id,
+                query: Query::Shutdown,
+            }) => PendingResponse {
+                id,
+                from_worker: None,
+                immediate: Some(Ok(Reply::ShuttingDown)),
+                shutdown_after: true,
+            },
+            Ok(request) => PendingResponse {
+                id: request.id,
+                from_worker: Some(batcher.submit(request.query)),
+                immediate: None,
+                shutdown_after: false,
+            },
+            Err(err) => PendingResponse {
+                // Best effort to echo the id even when the query is bad.
+                id: salvage_id(&line),
+                from_worker: None,
+                immediate: Some(Err(format!("invalid request: {err}"))),
+                shutdown_after: false,
+            },
+        };
+        let stop = pending.shutdown_after;
+        if tx.send(pending).is_err() || stop {
+            return;
+        }
+    }
+}
+
+/// Pulls the `id` out of a malformed request line when the document itself
+/// still parses; 0 otherwise.
+fn salvage_id(line: &str) -> u64 {
+    serde::parse(line)
+        .ok()
+        .and_then(|doc: Value| doc.read("id").ok())
+        .unwrap_or(0)
+}
+
+/// A TCP daemon: accept loop plus per-connection handler threads.
+pub struct Server {
+    addr: SocketAddr,
+    accept: Option<thread::JoinHandle<()>>,
+    stop: Arc<AtomicBool>,
+}
+
+impl Server {
+    /// Binds `127.0.0.1:port` (port 0 picks an ephemeral port), announces
+    /// `listening on 127.0.0.1:PORT` on stderr so harnesses can scrape the
+    /// actual port, and starts the accept loop.
+    pub fn start(port: u16, batcher: Arc<Batcher>) -> io::Result<Server> {
+        let listener = TcpListener::bind(("127.0.0.1", port))?;
+        let addr = listener.local_addr()?;
+        eprintln!("listening on {addr}");
+        let stop = Arc::new(AtomicBool::new(false));
+        let accept_stop = Arc::clone(&stop);
+        let accept = thread::spawn(move || accept_loop(&listener, addr, &batcher, &accept_stop));
+        Ok(Server {
+            addr,
+            accept: Some(accept),
+            stop,
+        })
+    }
+
+    /// The bound address (resolves the actual port when started with 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Blocks until the daemon shuts down (a `shutdown` query, or
+    /// [`stop`](Self::stop) from another thread).
+    pub fn wait(mut self) {
+        self.join_accept();
+    }
+
+    /// Trips shutdown from outside and joins the accept loop.
+    pub fn stop(mut self) {
+        trip_shutdown(&self.stop, self.addr);
+        self.join_accept();
+    }
+
+    fn join_accept(&mut self) {
+        if let Some(handle) = self.accept.take() {
+            // A panicked handler already printed its message.
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        if self.accept.is_some() {
+            trip_shutdown(&self.stop, self.addr);
+            self.join_accept();
+        }
+    }
+}
+
+/// Sets the stop flag and pokes the listener with a throwaway connection so
+/// the blocking `accept` observes it.
+fn trip_shutdown(stop: &AtomicBool, addr: SocketAddr) {
+    stop.store(true, Ordering::SeqCst);
+    // Failing to connect is fine: the listener is already gone.
+    let _ = TcpStream::connect(addr);
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    addr: SocketAddr,
+    batcher: &Arc<Batcher>,
+    stop: &Arc<AtomicBool>,
+) {
+    thread::scope(|scope| {
+        for conn in listener.incoming() {
+            if stop.load(Ordering::SeqCst) {
+                break;
+            }
+            let Ok(stream) = conn else {
+                continue;
+            };
+            let batcher = Arc::clone(batcher);
+            let stop = Arc::clone(stop);
+            scope.spawn(move || {
+                let Ok(read_half) = stream.try_clone() else {
+                    return;
+                };
+                let on_shutdown = move || trip_shutdown(&stop, addr);
+                // Per-connection I/O errors only affect that client.
+                let _ = run_connection(BufReader::new(read_half), stream, &batcher, &on_shutdown);
+            });
+        }
+    });
+}
+
+/// Serves the pipe transport (stdin/stdout): one connection, then done.
+/// Returns on EOF or after a `shutdown` ack.
+pub fn serve_pipe<R, W>(reader: R, writer: W, batcher: &Batcher) -> io::Result<()>
+where
+    R: BufRead + Send,
+    W: Write,
+{
+    run_connection(reader, writer, batcher, &|| {})
+}

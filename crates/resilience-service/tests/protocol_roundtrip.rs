@@ -1,0 +1,182 @@
+//! Round-trip property tests for the service protocol:
+//! `parse(render(x)) == x` for every wire type, including the non-finite
+//! float policy and escaped strings in error payloads.
+
+use resilience::{reference_scenarios, Pattern, Theorem};
+use resilience_service::{Query, Reply, Request, Response, ServiceStats};
+use serde::{Deserialize, Serialize};
+
+fn roundtrip<T>(x: &T) -> T
+where
+    T: Serialize + Deserialize + std::fmt::Debug,
+{
+    let line = x.to_json_string();
+    let back =
+        T::from_json_str(&line).unwrap_or_else(|e| panic!("did not re-parse: {e}\n  line: {line}"));
+    // Rendering must be a fixed point too: one canonical byte form.
+    assert_eq!(back.to_json_string(), line, "render not canonical");
+    back
+}
+
+/// Deterministic splitmix64 stream for property-style draws.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn f64_unit(&mut self) -> f64 {
+        (self.next() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+fn sample_queries() -> Vec<Query> {
+    let mut out = Vec::new();
+    for s in reference_scenarios() {
+        for theorem in Theorem::ALL {
+            out.push(Query::Optimum {
+                platform: s.platform,
+                costs: s.costs,
+                theorem,
+            });
+            out.push(Query::Overhead {
+                pattern: theorem.optimize(&s.platform, &s.costs).pattern,
+                platform: s.platform,
+                costs: s.costs,
+            });
+        }
+    }
+    out.push(Query::SweepCell {
+        grid_size: 100,
+        index: 999_999,
+    });
+    out.push(Query::Stats);
+    out.push(Query::Shutdown);
+    out
+}
+
+#[test]
+fn requests_roundtrip_for_every_query_kind() {
+    for (i, query) in sample_queries().into_iter().enumerate() {
+        let request = Request {
+            id: u64::MAX - i as u64, // ids beyond 2^53 stay exact
+            query,
+        };
+        assert_eq!(roundtrip(&request), request);
+    }
+}
+
+#[test]
+fn replies_roundtrip_for_every_kind() {
+    let s = &reference_scenarios()[0];
+    let optimum = Theorem::Four.optimize(&s.platform, &s.costs);
+    let replies = vec![
+        Reply::Optimum(optimum.clone()),
+        Reply::Overhead(optimum.overhead),
+        Reply::SweepCell {
+            index: 42,
+            name: "1000n-25y-r0.05".to_owned(),
+            theorem: Theorem::Four,
+            optimum,
+        },
+        Reply::Stats(ServiceStats {
+            requests: 1_000,
+            batches: 31,
+            coalesced_batches: 7,
+            max_batch: 256,
+            window_us: 3_200,
+            cache_hits: u64::MAX,
+            cache_misses: 9_007_199_254_740_993, // 2^53 + 1: breaks via-f64 codecs
+        }),
+        Reply::ShuttingDown,
+    ];
+    for reply in replies {
+        assert_eq!(roundtrip(&reply), reply);
+    }
+}
+
+#[test]
+fn responses_roundtrip_including_escaped_error_strings() {
+    let ok = Response {
+        id: 1,
+        outcome: Ok(Reply::ShuttingDown),
+    };
+    assert_eq!(roundtrip(&ok), ok);
+    for message in [
+        "plain",
+        "quote \" backslash \\ slash /",
+        "newline\ntab\tcarriage\rnull\u{0}bell\u{7}",
+        "unicode: λ µs — ✓ 🦀",
+        "",
+    ] {
+        let err = Response {
+            id: 2,
+            outcome: Err(message.to_owned()),
+        };
+        assert_eq!(roundtrip(&err), err);
+    }
+}
+
+#[test]
+fn non_finite_floats_ride_the_string_policy() {
+    let inf = Reply::Overhead(f64::INFINITY);
+    assert_eq!(roundtrip(&inf), inf);
+    assert!(inf.to_json_string().contains("\"Infinity\""));
+    let neg = Reply::Overhead(f64::NEG_INFINITY);
+    assert_eq!(roundtrip(&neg), neg);
+
+    let nan = Reply::Overhead(f64::NAN);
+    let line = nan.to_json_string();
+    assert!(line.contains("\"NaN\""), "{line}");
+    let Ok(Reply::Overhead(back)) = Reply::from_json_str(&line) else {
+        panic!("NaN overhead did not re-parse");
+    };
+    assert!(back.is_nan());
+}
+
+#[test]
+fn random_patterns_and_overheads_roundtrip_bit_exactly() {
+    let mut rng = Rng(0xC0FF_EE00);
+    for round in 0..500 {
+        let chunk_count = 1 + (rng.next() % 6) as usize;
+        let raw: Vec<f64> = (0..chunk_count).map(|_| 0.05 + rng.f64_unit()).collect();
+        let total: f64 = raw.iter().sum();
+        let mut chunks: Vec<f64> = raw.iter().map(|b| b / total).collect();
+        // Make the sum exactly compensate rounding: the wire validator
+        // demands |Σβ − 1| < 1e-9 and these draws sit well inside it.
+        let drift: f64 = 1.0 - chunks.iter().sum::<f64>();
+        chunks[0] += drift;
+        let pattern = Pattern::Combined {
+            work: 10.0 + 1e6 * rng.f64_unit(),
+            segments: 1 + rng.next() % 9,
+            chunks,
+        };
+        let query = Query::Overhead {
+            pattern,
+            platform: reference_scenarios()[round % 3].platform,
+            costs: reference_scenarios()[round % 3].costs,
+        };
+        let request = Request {
+            id: rng.next(),
+            query,
+        };
+        assert_eq!(roundtrip(&request), request);
+        let reply = Reply::Overhead(f64::from_bits(rng.next()));
+        let back = roundtrip(&reply);
+        let (Reply::Overhead(a), Reply::Overhead(b)) = (&reply, &back) else {
+            panic!("kind changed");
+        };
+        // NaN payload bits may canonicalize; numeric identity is the
+        // contract (bit identity for every non-NaN value).
+        if a.is_nan() {
+            assert!(b.is_nan());
+        } else {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+}

@@ -1,0 +1,277 @@
+//! In-process service tests: batcher answers vs direct library calls, TCP
+//! transport ordering, shutdown, and the adaptive window's observable
+//! behaviour.
+
+use resilience::{first_order_overhead, grid_spec, reference_scenarios, Theorem};
+use resilience_service::{BatchConfig, Batcher, Query, Reply, Request, Response, Server};
+use serde::{Deserialize, Serialize};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+#[test]
+fn batcher_answers_match_direct_library_calls() {
+    let batcher = Batcher::new(BatchConfig::default());
+    for s in reference_scenarios() {
+        for theorem in Theorem::ALL {
+            let got = batcher
+                .query(Query::Optimum {
+                    platform: s.platform,
+                    costs: s.costs,
+                    theorem,
+                })
+                .expect("optimum query");
+            let want = Reply::Optimum(theorem.optimize(&s.platform, &s.costs));
+            assert_eq!(
+                got.to_json_string(),
+                want.to_json_string(),
+                "{} {theorem:?}",
+                s.name
+            );
+
+            let pattern = theorem.optimize(&s.platform, &s.costs).pattern;
+            let got = batcher
+                .query(Query::Overhead {
+                    pattern: pattern.clone(),
+                    platform: s.platform,
+                    costs: s.costs,
+                })
+                .expect("overhead query");
+            let want = Reply::Overhead(first_order_overhead(&pattern, &s.platform, &s.costs));
+            assert_eq!(got.to_json_string(), want.to_json_string());
+        }
+    }
+    batcher.shutdown();
+}
+
+#[test]
+fn sweep_cell_queries_match_grid_expansion() {
+    let batcher = Batcher::new(BatchConfig::default());
+    let grid = grid_spec(10);
+    for index in [0usize, 1, 42, 999] {
+        let got = batcher
+            .query(Query::SweepCell {
+                grid_size: 10,
+                index: index as u64,
+            })
+            .expect("sweep cell query");
+        let cell = grid.cell_at(index);
+        let want = Reply::SweepCell {
+            index: index as u64,
+            name: cell.name.to_string(),
+            theorem: cell.theorem,
+            optimum: cell.theorem.optimize(&cell.platform, &cell.costs),
+        };
+        assert_eq!(got.to_json_string(), want.to_json_string());
+    }
+    batcher.shutdown();
+}
+
+#[test]
+fn invalid_sweep_cells_name_the_field() {
+    let batcher = Batcher::new(BatchConfig::default());
+    let err = batcher
+        .query(Query::SweepCell {
+            grid_size: 10,
+            index: 1_000,
+        })
+        .expect_err("out-of-range index must fail");
+    assert!(err.contains("index"), "{err}");
+    assert!(err.contains("1000-cell"), "{err}");
+    let err = batcher
+        .query(Query::SweepCell {
+            grid_size: 0,
+            index: 0,
+        })
+        .expect_err("zero grid must fail");
+    assert!(err.contains("grid_size"), "{err}");
+    batcher.shutdown();
+}
+
+#[test]
+fn stats_count_requests_and_window_decays_to_minimum() {
+    let cfg = BatchConfig::default();
+    let batcher = Batcher::new(cfg);
+    let s = &reference_scenarios()[0];
+    // Spaced singles can only ever shrink the window; it must sit at (or
+    // return to) the configured minimum.
+    for _ in 0..8 {
+        batcher
+            .query(Query::Optimum {
+                platform: s.platform,
+                costs: s.costs,
+                theorem: Theorem::Four,
+            })
+            .expect("optimum");
+        thread::sleep(Duration::from_millis(2));
+    }
+    let Ok(Reply::Stats(stats)) = batcher.query(Query::Stats) else {
+        panic!("stats query failed");
+    };
+    assert!(stats.requests >= 9, "{stats:?}");
+    assert!(stats.batches >= 1, "{stats:?}");
+    assert_eq!(stats.window_us, cfg.min_window_us, "{stats:?}");
+    assert!(stats.cache_hits + stats.cache_misses >= 1, "{stats:?}");
+    batcher.shutdown();
+}
+
+#[test]
+fn concurrent_submissions_coalesce_into_batches() {
+    // A long window and a burst submitted while the worker waits make
+    // coalescing all but certain; retry the burst to close the race fully.
+    let cfg = BatchConfig {
+        min_window_us: 20_000,
+        max_window_us: 20_000,
+        ..BatchConfig::default()
+    };
+    let batcher = Batcher::new(cfg);
+    let scenarios = reference_scenarios();
+    let mut coalesced = false;
+    for _ in 0..10 {
+        let receivers: Vec<_> = (0..32)
+            .map(|i| {
+                let s = &scenarios[i % scenarios.len()];
+                batcher.submit(Query::Optimum {
+                    platform: s.platform,
+                    costs: s.costs,
+                    theorem: Theorem::ALL[i % Theorem::ALL.len()],
+                })
+            })
+            .collect();
+        for rx in receivers {
+            rx.recv().expect("worker alive").expect("optimum");
+        }
+        let Ok(Reply::Stats(stats)) = batcher.query(Query::Stats) else {
+            panic!("stats query failed");
+        };
+        if stats.coalesced_batches >= 1 && stats.max_batch > 1 {
+            coalesced = true;
+            break;
+        }
+    }
+    assert!(coalesced, "no coalesced batch in 10 burst rounds");
+    batcher.shutdown();
+}
+
+#[test]
+fn submitting_after_shutdown_errors_instead_of_hanging() {
+    let batcher = Batcher::new(BatchConfig::default());
+    batcher.shutdown();
+    let err = batcher.query(Query::Stats).expect_err("must error");
+    assert!(err.contains("shutting down"), "{err}");
+}
+
+/// Drives one TCP connection with pipelined requests and collects the
+/// response lines.
+fn tcp_roundtrip(addr: std::net::SocketAddr, requests: &[Request]) -> Vec<String> {
+    let stream = TcpStream::connect(addr).expect("connect");
+    let mut writer = stream.try_clone().expect("clone");
+    let mut payload = String::new();
+    for request in requests {
+        payload.push_str(&request.to_json_string());
+        payload.push('\n');
+    }
+    writer.write_all(payload.as_bytes()).expect("write");
+    writer.flush().expect("flush");
+    let reader = BufReader::new(stream);
+    reader
+        .lines()
+        .take(requests.len())
+        .map(|l| l.expect("read line"))
+        .collect()
+}
+
+#[test]
+fn tcp_server_answers_in_request_order_and_shuts_down_cleanly() {
+    let batcher = Arc::new(Batcher::new(BatchConfig::default()));
+    let server = Server::start(0, Arc::clone(&batcher)).expect("bind");
+    let addr = server.addr();
+
+    let scenarios = reference_scenarios();
+    let requests: Vec<Request> = (0..12)
+        .map(|i| {
+            let s = &scenarios[i % scenarios.len()];
+            Request {
+                id: 100 + i as u64,
+                query: Query::Optimum {
+                    platform: s.platform,
+                    costs: s.costs,
+                    theorem: Theorem::ALL[i % Theorem::ALL.len()],
+                },
+            }
+        })
+        .collect();
+    let lines = tcp_roundtrip(addr, &requests);
+    assert_eq!(lines.len(), requests.len());
+    for (line, request) in lines.iter().zip(&requests) {
+        let Query::Optimum {
+            platform,
+            costs,
+            theorem,
+        } = &request.query
+        else {
+            unreachable!()
+        };
+        let want = Response {
+            id: request.id,
+            outcome: Ok(Reply::Optimum(theorem.optimize(platform, costs))),
+        };
+        assert_eq!(line, &want.to_json_string());
+    }
+
+    // Malformed lines get an error response that names the problem.
+    let bad = tcp_roundtrip(addr, &[]);
+    assert!(bad.is_empty());
+    {
+        let stream = TcpStream::connect(addr).expect("connect");
+        let mut writer = stream.try_clone().expect("clone");
+        writer
+            .write_all(b"{\"id\":7,\"query\":{\"kind\":\"nope\"}}\nnot json at all\n")
+            .expect("write");
+        let mut reader = BufReader::new(stream);
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("read");
+        let response = Response::from_json_str(line.trim_end()).expect("parse");
+        assert_eq!(response.id, 7);
+        let err = response.outcome.expect_err("unknown kind must fail");
+        assert!(err.contains("nope"), "{err}");
+        line.clear();
+        reader.read_line(&mut line).expect("read");
+        let response = Response::from_json_str(line.trim_end()).expect("parse");
+        assert_eq!(response.id, 0, "unsalvageable id defaults to 0");
+        assert!(response.outcome.is_err());
+    }
+
+    // Shutdown: ack, then EOF, then the port stops accepting.
+    let stream = TcpStream::connect(addr).expect("connect");
+    let mut writer = stream.try_clone().expect("clone");
+    writer
+        .write_all(
+            format!(
+                "{}\n",
+                Request {
+                    id: 9,
+                    query: Query::Shutdown
+                }
+                .to_json_string()
+            )
+            .as_bytes(),
+        )
+        .expect("write");
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("read ack");
+    let ack = Response::from_json_str(line.trim_end()).expect("parse ack");
+    assert_eq!(ack.outcome, Ok(Reply::ShuttingDown));
+    line.clear();
+    assert_eq!(reader.read_line(&mut line).expect("EOF"), 0);
+
+    server.wait();
+    batcher.shutdown();
+    assert!(
+        TcpStream::connect(addr).is_err(),
+        "daemon still accepting after shutdown"
+    );
+}

@@ -20,7 +20,12 @@
 //!   procedural canonical grid up to 10⁶ cells);
 //! * [`cache`] — the [`OptimumCache`] memoizing theorem optima on bit-exact
 //!   `(Platform, CostModel, Theorem)` keys, sharded into independently
-//!   locked maps with lock-free hit/miss counters.
+//!   locked maps with lock-free hit/miss counters;
+//! * [`wire`] — hand-written JSON encodings for the domain types
+//!   ([`Platform`], [`CostModel`], [`Theorem`], [`Pattern`],
+//!   [`PatternOptimum`]) that re-validate constructor invariants on
+//!   deserialization, so untrusted wire input cannot build values the
+//!   in-process API could not.
 //!
 //! Every closed form is cross-checked against the unified numeric optimizers
 //! of the `numerics` crate in `tests/consistency.rs`.
@@ -37,6 +42,7 @@ pub mod pattern;
 pub mod platform;
 pub mod scenario;
 pub mod sweep;
+pub mod wire;
 
 pub use cache::{CacheStats, LocalOptimumCache, OptimumCache, OptimumKey};
 pub use optimal::{

@@ -1,0 +1,237 @@
+//! JSON wire impls for the domain types.
+//!
+//! Hand-written field-by-field (the vendored `serde` is a derive-free JSON
+//! layer), with the same validation posture as the constructors: a document
+//! that would panic `Platform::new`/`Pattern::validate` is rejected with a
+//! named-field error instead, so untrusted wire input can never build a
+//! value the in-process API could not.
+//!
+//! Encodings:
+//!
+//! * [`Platform`]/[`CostModel`] — flat objects mirroring their fields;
+//! * [`Theorem`] — its stable [`Theorem::label`] string (`"theorem4"`);
+//! * [`Pattern`] — a `kind`-tagged object per variant
+//!   (`{"kind":"combined","work":…,"segments":…,"chunks":[…]}`);
+//! * [`PatternOptimum`] — `{"pattern":…,"overhead":…}`.
+
+use crate::optimal::PatternOptimum;
+use crate::pattern::Pattern;
+use crate::platform::{CostModel, Platform};
+use crate::sweep::Theorem;
+use serde::{Deserialize, JsonError, Serialize, Value};
+
+impl Serialize for Platform {
+    fn to_json(&self) -> Value {
+        Value::obj(vec![
+            ("lambda_fail", self.lambda_fail.to_json()),
+            ("lambda_silent", self.lambda_silent.to_json()),
+        ])
+    }
+}
+
+impl Deserialize for Platform {
+    fn from_json(v: &Value) -> Result<Self, JsonError> {
+        let lambda_fail: f64 = v.read("lambda_fail")?;
+        let lambda_silent: f64 = v.read("lambda_silent")?;
+        for (name, rate) in [
+            ("lambda_fail", lambda_fail),
+            ("lambda_silent", lambda_silent),
+        ] {
+            if !(rate.is_finite() && rate >= 0.0) {
+                return Err(JsonError::new(format!(
+                    "{name}: rate must be finite and non-negative, got {rate}"
+                )));
+            }
+        }
+        if lambda_fail + lambda_silent <= 0.0 {
+            return Err(JsonError::new(
+                "platform must have some error source (both rates are zero)",
+            ));
+        }
+        Ok(Platform::new(lambda_fail, lambda_silent))
+    }
+}
+
+impl Serialize for CostModel {
+    fn to_json(&self) -> Value {
+        Value::obj(vec![
+            ("checkpoint", self.checkpoint.to_json()),
+            ("recovery", self.recovery.to_json()),
+            ("guaranteed_verif", self.guaranteed_verif.to_json()),
+            ("partial_verif", self.partial_verif.to_json()),
+            ("recall", self.recall.to_json()),
+        ])
+    }
+}
+
+impl Deserialize for CostModel {
+    fn from_json(v: &Value) -> Result<Self, JsonError> {
+        let checkpoint: f64 = v.read("checkpoint")?;
+        let recovery: f64 = v.read("recovery")?;
+        let guaranteed_verif: f64 = v.read("guaranteed_verif")?;
+        let partial_verif: f64 = v.read("partial_verif")?;
+        let recall: f64 = v.read("recall")?;
+        for (name, cost) in [
+            ("checkpoint", checkpoint),
+            ("guaranteed_verif", guaranteed_verif),
+            ("partial_verif", partial_verif),
+        ] {
+            if !(cost.is_finite() && cost > 0.0) {
+                return Err(JsonError::new(format!(
+                    "{name}: cost must be finite and positive, got {cost}"
+                )));
+            }
+        }
+        if !(recovery.is_finite() && recovery >= 0.0) {
+            return Err(JsonError::new(format!(
+                "recovery: cost must be finite and non-negative, got {recovery}"
+            )));
+        }
+        if !(recall > 0.0 && recall <= 1.0) {
+            return Err(JsonError::new(format!(
+                "recall: must lie in (0, 1], got {recall}"
+            )));
+        }
+        Ok(CostModel::new(
+            checkpoint,
+            recovery,
+            guaranteed_verif,
+            partial_verif,
+            recall,
+        ))
+    }
+}
+
+impl Serialize for Theorem {
+    fn to_json(&self) -> Value {
+        self.label().to_json()
+    }
+}
+
+impl Deserialize for Theorem {
+    fn from_json(v: &Value) -> Result<Self, JsonError> {
+        let label = String::from_json(v)?;
+        Theorem::ALL
+            .into_iter()
+            .find(|t| t.label() == label)
+            .ok_or_else(|| {
+                JsonError::new(format!(
+                    "unknown theorem \"{label}\" (expected theorem1..theorem4)"
+                ))
+            })
+    }
+}
+
+/// Checks a wire `work` value against [`Pattern::validate`]'s invariant.
+fn check_work(work: f64) -> Result<(), JsonError> {
+    if work.is_finite() && work > 0.0 {
+        Ok(())
+    } else {
+        Err(JsonError::new(format!(
+            "work: must be positive and finite, got {work}"
+        )))
+    }
+}
+
+impl Serialize for Pattern {
+    fn to_json(&self) -> Value {
+        match self {
+            Pattern::Checkpoint { work } => Value::obj(vec![
+                ("kind", "checkpoint".to_json()),
+                ("work", work.to_json()),
+            ]),
+            Pattern::VerifiedCheckpoint { work } => Value::obj(vec![
+                ("kind", "verified_checkpoint".to_json()),
+                ("work", work.to_json()),
+            ]),
+            Pattern::GuaranteedSegments { work, segments } => Value::obj(vec![
+                ("kind", "guaranteed_segments".to_json()),
+                ("work", work.to_json()),
+                ("segments", segments.to_json()),
+            ]),
+            Pattern::PartialChunks { work, chunks } => Value::obj(vec![
+                ("kind", "partial_chunks".to_json()),
+                ("work", work.to_json()),
+                ("chunks", chunks.to_json()),
+            ]),
+            Pattern::Combined {
+                work,
+                segments,
+                chunks,
+            } => Value::obj(vec![
+                ("kind", "combined".to_json()),
+                ("work", work.to_json()),
+                ("segments", segments.to_json()),
+                ("chunks", chunks.to_json()),
+            ]),
+        }
+    }
+}
+
+impl Deserialize for Pattern {
+    fn from_json(v: &Value) -> Result<Self, JsonError> {
+        let kind: String = v.read("kind")?;
+        let work: f64 = v.read("work")?;
+        check_work(work)?;
+        let segments = || -> Result<u64, JsonError> {
+            let m: u64 = v.read("segments")?;
+            if m >= 1 {
+                Ok(m)
+            } else {
+                Err(JsonError::new("segments: need at least one segment"))
+            }
+        };
+        let chunks = || -> Result<Vec<f64>, JsonError> {
+            let beta: Vec<f64> = v.read("chunks")?;
+            if beta.is_empty() {
+                return Err(JsonError::new("chunks: pattern needs at least one chunk"));
+            }
+            if !beta.iter().all(|&b| b.is_finite() && b > 0.0) {
+                return Err(JsonError::new("chunks: fractions must be positive"));
+            }
+            let sum: f64 = beta.iter().sum();
+            if (sum - 1.0).abs() >= 1e-9 {
+                return Err(JsonError::new(format!(
+                    "chunks: fractions must sum to 1 (got {sum})"
+                )));
+            }
+            Ok(beta)
+        };
+        match kind.as_str() {
+            "checkpoint" => Ok(Pattern::Checkpoint { work }),
+            "verified_checkpoint" => Ok(Pattern::VerifiedCheckpoint { work }),
+            "guaranteed_segments" => Ok(Pattern::GuaranteedSegments {
+                work,
+                segments: segments()?,
+            }),
+            "partial_chunks" => Ok(Pattern::PartialChunks {
+                work,
+                chunks: chunks()?,
+            }),
+            "combined" => Ok(Pattern::Combined {
+                work,
+                segments: segments()?,
+                chunks: chunks()?,
+            }),
+            other => Err(JsonError::new(format!("unknown pattern kind \"{other}\""))),
+        }
+    }
+}
+
+impl Serialize for PatternOptimum {
+    fn to_json(&self) -> Value {
+        Value::obj(vec![
+            ("pattern", self.pattern.to_json()),
+            ("overhead", self.overhead.to_json()),
+        ])
+    }
+}
+
+impl Deserialize for PatternOptimum {
+    fn from_json(v: &Value) -> Result<Self, JsonError> {
+        Ok(Self {
+            pattern: v.read("pattern")?,
+            overhead: v.read("overhead")?,
+        })
+    }
+}

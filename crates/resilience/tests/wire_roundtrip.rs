@@ -1,0 +1,143 @@
+//! JSON round-trips and validation for the domain wire types. The
+//! deserializers re-check constructor invariants, so this also pins that a
+//! malformed document gets a named-field error rather than a panic or a
+//! silently-invalid value.
+
+use resilience::{reference_scenarios, CostModel, Pattern, PatternOptimum, Platform, Theorem};
+use serde::{Deserialize, Serialize};
+
+fn roundtrip<T>(x: &T) -> T
+where
+    T: Serialize + Deserialize,
+{
+    let line = x.to_json_string();
+    let back =
+        T::from_json_str(&line).unwrap_or_else(|e| panic!("did not re-parse: {e}\n  {line}"));
+    assert_eq!(back.to_json_string(), line, "render not canonical: {line}");
+    back
+}
+
+#[test]
+fn platforms_and_costs_roundtrip_bit_exactly() {
+    for s in reference_scenarios() {
+        assert_eq!(roundtrip(&s.platform), s.platform);
+        assert_eq!(roundtrip(&s.costs), s.costs);
+    }
+    // One-sided platforms (pure fail-stop / pure silent) are legal.
+    let fail_only = Platform::new(1e-5, 0.0);
+    assert_eq!(roundtrip(&fail_only), fail_only);
+}
+
+#[test]
+fn theorems_roundtrip_through_their_labels() {
+    for theorem in Theorem::ALL {
+        assert_eq!(roundtrip(&theorem), theorem);
+    }
+    let err = Theorem::from_json_str("\"theorem9\"").expect_err("unknown label");
+    assert!(err.to_string().contains("theorem9"), "{err}");
+}
+
+#[test]
+fn every_pattern_shape_roundtrips() {
+    let patterns = vec![
+        Pattern::Checkpoint { work: 3600.0 },
+        Pattern::VerifiedCheckpoint { work: 123.456 },
+        Pattern::GuaranteedSegments {
+            work: 7e4,
+            segments: 5,
+        },
+        Pattern::PartialChunks {
+            work: 1e3,
+            chunks: vec![0.25, 0.25, 0.5],
+        },
+        Pattern::Combined {
+            work: 5e3,
+            segments: 3,
+            chunks: vec![0.125, 0.375, 0.5],
+        },
+    ];
+    for pattern in &patterns {
+        assert_eq!(&roundtrip(pattern), pattern);
+    }
+}
+
+#[test]
+fn optima_of_every_theorem_roundtrip() {
+    for s in reference_scenarios() {
+        for theorem in Theorem::ALL {
+            let optimum = theorem.optimize(&s.platform, &s.costs);
+            assert_eq!(roundtrip(&optimum), optimum);
+        }
+    }
+}
+
+#[test]
+fn invalid_documents_get_named_field_errors() {
+    let cases: &[(&str, &str, &str)] = &[
+        (
+            "negative rate",
+            r#"{"lambda_fail":-1.0,"lambda_silent":0.0}"#,
+            "lambda_fail",
+        ),
+        (
+            "dead platform",
+            r#"{"lambda_fail":0.0,"lambda_silent":0.0}"#,
+            "error source",
+        ),
+        (
+            "NaN rate",
+            r#"{"lambda_fail":"NaN","lambda_silent":1e-6}"#,
+            "lambda_fail",
+        ),
+    ];
+    for (what, doc, needle) in cases {
+        let err = Platform::from_json_str(doc).expect_err(what);
+        assert!(err.to_string().contains(needle), "{what}: {err}");
+    }
+
+    let err = CostModel::from_json_str(
+        r#"{"checkpoint":6.0,"recovery":30.0,"guaranteed_verif":10.0,"partial_verif":1.0,"recall":1.5}"#,
+    )
+    .expect_err("recall above 1");
+    assert!(err.to_string().contains("recall"), "{err}");
+
+    let pattern_cases: &[(&str, &str, &str)] = &[
+        ("zero work", r#"{"kind":"checkpoint","work":0.0}"#, "work"),
+        (
+            "zero segments",
+            r#"{"kind":"guaranteed_segments","work":10.0,"segments":0}"#,
+            "segments",
+        ),
+        (
+            "empty chunks",
+            r#"{"kind":"partial_chunks","work":10.0,"chunks":[]}"#,
+            "chunks",
+        ),
+        (
+            "chunks off unity",
+            r#"{"kind":"partial_chunks","work":10.0,"chunks":[0.5,0.4]}"#,
+            "sum to 1",
+        ),
+        (
+            "unknown kind",
+            r#"{"kind":"quantum","work":10.0}"#,
+            "quantum",
+        ),
+    ];
+    for (what, doc, needle) in pattern_cases {
+        let err = Pattern::from_json_str(doc).expect_err(what);
+        assert!(err.to_string().contains(needle), "{what}: {err}");
+    }
+}
+
+#[test]
+fn optimum_with_non_finite_overhead_roundtrips() {
+    // A saturated platform can push overheads to ∞; the wire form must not
+    // lose that.
+    let optimum = PatternOptimum {
+        pattern: Pattern::Checkpoint { work: 1.0 },
+        overhead: f64::INFINITY,
+    };
+    let back = roundtrip(&optimum);
+    assert!(back.overhead.is_infinite());
+}

@@ -14,6 +14,7 @@ use crate::engine::{Backend, Engine, Execution};
 use crate::rng::Rng;
 use resilience::pattern::Pattern;
 use resilience::platform::{CostModel, Platform};
+use serde::{Deserialize, JsonError, Serialize, Value};
 use stats::rates::{per_day, per_hour};
 use stats::{Histogram, OnlineStats, Summary};
 
@@ -120,6 +121,36 @@ impl SimReport {
             (self.fail_stop_events + self.silent_detections) as f64,
             self.total_time,
         )
+    }
+}
+
+impl Serialize for SimReport {
+    fn to_json(&self) -> Value {
+        Value::obj(vec![
+            ("overhead", self.overhead.to_json()),
+            ("time", self.time.to_json()),
+            ("fail_stop_events", self.fail_stop_events.to_json()),
+            ("silent_errors", self.silent_errors.to_json()),
+            ("silent_detections", self.silent_detections.to_json()),
+            ("total_time", self.total_time.to_json()),
+            ("replications", self.replications.to_json()),
+            ("time_histogram", self.time_histogram.to_json()),
+        ])
+    }
+}
+
+impl Deserialize for SimReport {
+    fn from_json(v: &Value) -> Result<Self, JsonError> {
+        Ok(Self {
+            overhead: v.read("overhead")?,
+            time: v.read("time")?,
+            fail_stop_events: v.read("fail_stop_events")?,
+            silent_errors: v.read("silent_errors")?,
+            silent_detections: v.read("silent_detections")?,
+            total_time: v.read("total_time")?,
+            replications: v.read("replications")?,
+            time_histogram: v.read_opt("time_histogram")?,
+        })
     }
 }
 

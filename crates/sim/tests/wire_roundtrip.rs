@@ -1,0 +1,63 @@
+//! JSON round-trip for the simulator's report type.
+
+use serde::{Deserialize, Serialize};
+use sim::SimReport;
+use stats::{Histogram, OnlineStats, Summary};
+
+fn roundtrip(report: &SimReport) -> SimReport {
+    let line = report.to_json_string();
+    let back = SimReport::from_json_str(&line)
+        .unwrap_or_else(|e| panic!("did not re-parse: {e}\n  {line}"));
+    assert_eq!(back.to_json_string(), line, "render not canonical");
+    back
+}
+
+fn sample_summary(xs: &[f64]) -> Summary {
+    let mut acc = OnlineStats::new();
+    for &x in xs {
+        acc.push(x);
+    }
+    Summary::from_stats(&acc)
+}
+
+#[test]
+fn reports_roundtrip_with_and_without_histograms() {
+    let mut histogram = Histogram::new(0.0, 5.0, 16);
+    for i in 0..200 {
+        histogram.record(i as f64 / 33.0);
+    }
+    let with = SimReport {
+        overhead: sample_summary(&[0.11, 0.12, 0.13]),
+        time: sample_summary(&[1.1, 1.25, 1.4]),
+        fail_stop_events: 12,
+        silent_errors: 5,
+        silent_detections: 4,
+        total_time: 9_876.5,
+        replications: 3,
+        time_histogram: Some(histogram),
+    };
+    assert_eq!(roundtrip(&with), with);
+
+    let without = SimReport {
+        time_histogram: None,
+        ..with
+    };
+    let back = roundtrip(&without);
+    assert_eq!(back, without);
+    assert!(back.time_histogram.is_none());
+}
+
+#[test]
+fn empty_report_roundtrips() {
+    let empty = SimReport {
+        overhead: Summary::empty(),
+        time: Summary::empty(),
+        fail_stop_events: 0,
+        silent_errors: 0,
+        silent_detections: 0,
+        total_time: 0.0,
+        replications: 0,
+        time_histogram: None,
+    };
+    assert_eq!(roundtrip(&empty), empty);
+}

@@ -5,13 +5,13 @@
 //! look at the distribution of simulated pattern times rather than just
 //! their moments.
 
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, JsonError, Serialize, Value};
 
 /// Histogram with `bins` equal-width bins covering `[lo, hi]` (the upper
 /// edge is inclusive and lands in the top bin, so a sample at the declared
 /// maximum is in range); observations outside the range are counted in
 /// `underflow`/`overflow`.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Histogram {
     lo: f64,
     hi: f64,
@@ -118,6 +118,57 @@ impl Histogram {
     pub fn bin_center(&self, i: usize) -> f64 {
         let w = (self.hi - self.lo) / self.counts.len() as f64;
         self.lo + w * (i as f64 + 0.5)
+    }
+}
+
+impl Serialize for Histogram {
+    fn to_json(&self) -> Value {
+        Value::obj(vec![
+            ("lo", self.lo.to_json()),
+            ("hi", self.hi.to_json()),
+            ("counts", self.counts.to_json()),
+            ("underflow", self.underflow.to_json()),
+            ("overflow", self.overflow.to_json()),
+            ("total", self.total.to_json()),
+        ])
+    }
+}
+
+impl Deserialize for Histogram {
+    /// Reconstructs a histogram, re-validating the construction invariants
+    /// (`lo < hi`, at least one bin) and the count bookkeeping (`total` is
+    /// the sum of bins plus both flows) so a corrupted wire document can
+    /// never build a histogram [`Histogram::new`] + records could not.
+    fn from_json(v: &Value) -> Result<Self, JsonError> {
+        let h = Self {
+            lo: v.read("lo")?,
+            hi: v.read("hi")?,
+            counts: v.read("counts")?,
+            underflow: v.read("underflow")?,
+            overflow: v.read("overflow")?,
+            total: v.read("total")?,
+        };
+        // `partial_cmp` so a NaN bound (incomparable) is rejected too.
+        if h.lo.partial_cmp(&h.hi) != Some(std::cmp::Ordering::Less) {
+            return Err(JsonError::new(format!(
+                "histogram range [{}, {}] is empty or unordered",
+                h.lo, h.hi
+            )));
+        }
+        if h.counts.is_empty() {
+            return Err(JsonError::new("histogram needs at least one bin"));
+        }
+        let in_bins: u64 = h.counts.iter().sum();
+        let accounted = in_bins
+            .checked_add(h.underflow)
+            .and_then(|n| n.checked_add(h.overflow));
+        if accounted != Some(h.total) {
+            return Err(JsonError::new(format!(
+                "histogram total {} does not match bins {in_bins} + flows {}/{}",
+                h.total, h.underflow, h.overflow
+            )));
+        }
+        Ok(h)
     }
 }
 

@@ -5,11 +5,11 @@
 //! the Chan–Golub–LeVeque parallel update, so no synchronization is needed
 //! on the hot path.
 
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, JsonError, Serialize, Value};
 
 /// Numerically stable streaming moments: count, mean, M2 (for variance),
 /// min and max.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct OnlineStats {
     count: u64,
     mean: f64,
@@ -136,6 +136,32 @@ impl OnlineStats {
     /// Half-width of the normal-approximation 95% confidence interval.
     pub fn ci95_half_width(&self) -> f64 {
         1.96 * self.std_err()
+    }
+}
+
+impl Serialize for OnlineStats {
+    fn to_json(&self) -> Value {
+        Value::obj(vec![
+            ("count", self.count.to_json()),
+            ("mean", self.mean.to_json()),
+            ("m2", self.m2.to_json()),
+            // The empty accumulator's ±∞ sentinels ride the non-finite
+            // string policy, so an empty OnlineStats round-trips too.
+            ("min", self.min.to_json()),
+            ("max", self.max.to_json()),
+        ])
+    }
+}
+
+impl Deserialize for OnlineStats {
+    fn from_json(v: &Value) -> Result<Self, JsonError> {
+        Ok(Self {
+            count: v.read("count")?,
+            mean: v.read("mean")?,
+            m2: v.read("m2")?,
+            min: v.read("min")?,
+            max: v.read("max")?,
+        })
     }
 }
 

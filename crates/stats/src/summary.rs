@@ -1,12 +1,12 @@
 //! Human-readable summaries of accumulated statistics.
 
 use crate::online::OnlineStats;
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, JsonError, Serialize, Value};
 use std::fmt;
 
 /// A finalized summary of a simulated quantity: mean with a 95% CI plus
 /// range information. Produced from an [`OnlineStats`].
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Summary {
     /// Number of observations.
     pub count: u64,
@@ -69,6 +69,32 @@ impl Summary {
         } else {
             (value - self.mean).abs() / self.mean.abs()
         }
+    }
+}
+
+impl Serialize for Summary {
+    fn to_json(&self) -> Value {
+        Value::obj(vec![
+            ("count", self.count.to_json()),
+            ("mean", self.mean.to_json()),
+            ("std_dev", self.std_dev.to_json()),
+            ("ci95", self.ci95.to_json()),
+            ("min", self.min.to_json()),
+            ("max", self.max.to_json()),
+        ])
+    }
+}
+
+impl Deserialize for Summary {
+    fn from_json(v: &Value) -> Result<Self, JsonError> {
+        Ok(Self {
+            count: v.read("count")?,
+            mean: v.read("mean")?,
+            std_dev: v.read("std_dev")?,
+            ci95: v.read("ci95")?,
+            min: v.read("min")?,
+            max: v.read("max")?,
+        })
     }
 }
 

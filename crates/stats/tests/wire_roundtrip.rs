@@ -1,0 +1,103 @@
+//! JSON round-trips for the stats wire types: `parse(render(x)) == x`
+//! bit-exactly, including the non-finite sentinels of empty accumulators
+//! and empty histograms.
+
+use serde::{Deserialize, Serialize};
+use stats::{Histogram, OnlineStats, Summary};
+
+fn roundtrip<T>(x: &T) -> T
+where
+    T: Serialize + Deserialize,
+{
+    let line = x.to_json_string();
+    let back =
+        T::from_json_str(&line).unwrap_or_else(|e| panic!("did not re-parse: {e}\n  {line}"));
+    assert_eq!(back.to_json_string(), line, "render not canonical: {line}");
+    back
+}
+
+#[test]
+fn summaries_roundtrip_bit_exactly() {
+    let mut acc = OnlineStats::new();
+    for i in 0..257 {
+        acc.push((i as f64).sin() * 1e3);
+    }
+    let summary = Summary::from_stats(&acc);
+    assert_eq!(roundtrip(&summary), summary);
+    assert_eq!(roundtrip(&Summary::empty()), Summary::empty());
+}
+
+#[test]
+fn non_finite_summary_fields_survive() {
+    let weird = Summary {
+        count: 3,
+        mean: f64::INFINITY,
+        std_dev: f64::NEG_INFINITY,
+        ci95: f64::NAN,
+        min: -0.0,
+        max: 1e-308, // subnormal-adjacent: shortest-round-trip must hold
+    };
+    let back = roundtrip(&weird);
+    assert!(back.mean.is_infinite() && back.mean > 0.0);
+    assert!(back.std_dev.is_infinite() && back.std_dev < 0.0);
+    assert!(back.ci95.is_nan());
+    assert_eq!(
+        back.min.to_bits(),
+        (-0.0f64).to_bits(),
+        "-0.0 keeps its sign"
+    );
+    assert_eq!(back.max.to_bits(), weird.max.to_bits());
+}
+
+#[test]
+fn online_stats_roundtrip_including_empty_sentinels() {
+    // Empty accumulator: min/max are ±∞ and must survive the trip so that
+    // merging a deserialized empty accumulator stays a no-op.
+    let empty = OnlineStats::new();
+    let back = roundtrip(&empty);
+    assert_eq!(back, empty);
+    let mut merged = OnlineStats::new();
+    merged.push(4.0);
+    let before = merged;
+    merged.merge(&back);
+    assert_eq!(merged, before);
+
+    let mut acc = OnlineStats::new();
+    for x in [2.0, 4.0, 4.0, 5.0, 9.0] {
+        acc.push(x);
+    }
+    assert_eq!(roundtrip(&acc), acc);
+}
+
+#[test]
+fn histograms_roundtrip_empty_and_populated() {
+    let empty = Histogram::new(0.0, 10.0, 8);
+    assert_eq!(roundtrip(&empty), empty);
+
+    let mut h = Histogram::new(0.0, 1.0, 4);
+    for i in 0..100 {
+        h.record(i as f64 / 80.0); // spills into overflow too
+    }
+    h.record(-1.0);
+    h.record(f64::NAN);
+    assert_eq!(roundtrip(&h), h);
+}
+
+#[test]
+fn corrupted_histograms_are_rejected_with_named_errors() {
+    let mut h = Histogram::new(0.0, 1.0, 4);
+    h.record(0.5);
+    let line = h.to_json_string();
+
+    let bad_total = line.replace("\"total\":1", "\"total\":7");
+    let err = Histogram::from_json_str(&bad_total).expect_err("total mismatch");
+    assert!(err.to_string().contains("total"), "{err}");
+
+    let bad_range = line.replace("\"hi\":1.0", "\"hi\":-1.0");
+    let err = Histogram::from_json_str(&bad_range).expect_err("inverted range");
+    assert!(err.to_string().contains("range"), "{err}");
+
+    let no_bins = line.replace("\"counts\":[0,0,1,0]", "\"counts\":[]");
+    let err = Histogram::from_json_str(&no_bins).expect_err("no bins");
+    assert!(err.to_string().contains("bin"), "{err}");
+}

@@ -21,13 +21,23 @@ pub const DETERMINISM_CRATES: &[&str] = &["numerics", "stats", "resilience", "si
 
 /// The only files allowed to create threads. Everything else must route
 /// parallelism through the executor/runner so sharding and reordering stay
-/// centralized (and byte-identical to serial).
-pub const THREAD_ALLOWLIST: &[&str] = &["crates/sim/src/executor.rs", "crates/sim/src/runner.rs"];
+/// centralized (and byte-identical to serial). The service crate's batch
+/// worker, connection handlers, and smoke client are the deliberate
+/// exception: they live outside the determinism-pinned set and delegate
+/// all numeric work to it.
+pub const THREAD_ALLOWLIST: &[&str] = &[
+    "crates/sim/src/executor.rs",
+    "crates/sim/src/runner.rs",
+    "crates/resilience-service/src/batcher.rs",
+    "crates/resilience-service/src/server.rs",
+    "crates/resilience-service/src/bin/service-client.rs",
+];
 
 /// Required crate-root attributes: `(crate, root file, attribute)`.
-/// `numerics`/`stats`/`resilience-cli`/`xtask` must be `unsafe`-free at the
-/// compiler level; `sim`/`resilience` carry `unsafe` SIMD modules and must
-/// make every unsafe operation explicit inside `unsafe fn` bodies.
+/// `numerics`/`stats`/`resilience-cli`/`resilience-service`/`xtask` must be
+/// `unsafe`-free at the compiler level; `sim`/`resilience` carry `unsafe`
+/// SIMD modules and must make every unsafe operation explicit inside
+/// `unsafe fn` bodies.
 pub const REQUIRED_CRATE_ATTRS: &[(&str, &str, &str)] = &[
     (
         "numerics",
@@ -58,6 +68,11 @@ pub const REQUIRED_CRATE_ATTRS: &[(&str, &str, &str)] = &[
         "resilience",
         "crates/resilience/src/lib.rs",
         "#![deny(unsafe_op_in_unsafe_fn)]",
+    ),
+    (
+        "resilience-service",
+        "crates/resilience-service/src/lib.rs",
+        "#![forbid(unsafe_code)]",
     ),
 ];
 

@@ -132,6 +132,42 @@ fn thread_spawn_is_allowed_in_the_executor() {
 }
 
 #[test]
+fn thread_spawn_is_allowed_in_the_service_worker_and_transports() {
+    // The service crate's exemption is per-file, not per-crate: only the
+    // batch worker, the connection handlers, and the smoke client may
+    // spawn.
+    for rel in [
+        "crates/resilience-service/src/batcher.rs",
+        "crates/resilience-service/src/server.rs",
+        "crates/resilience-service/src/bin/service-client.rs",
+    ] {
+        let findings = lint_fixture(rel, include_str!("fixtures/fail/thread_spawn.rs"));
+        assert!(findings.is_empty(), "{rel}: {findings:#?}");
+    }
+}
+
+#[test]
+fn thread_spawn_elsewhere_in_the_service_crate_is_still_rejected() {
+    expect_single(
+        "crates/resilience-service/src/protocol.rs",
+        include_str!("fixtures/fail/thread_spawn.rs"),
+        Lint::ThreadSpawn,
+        2,
+    );
+}
+
+#[test]
+fn wall_clock_reads_are_fine_in_the_service_crate() {
+    // The batching window needs real elapsed time; the service crate is
+    // deliberately outside the determinism-pinned set.
+    let findings = lint_fixture(
+        "crates/resilience-service/src/batcher_timing.rs",
+        include_str!("fixtures/fail/wall_clock.rs"),
+    );
+    assert!(findings.is_empty(), "{findings:#?}");
+}
+
+#[test]
 fn bare_float_literal_comparison_is_rejected() {
     expect_single(
         "crates/numerics/src/check.rs",
@@ -151,6 +187,17 @@ fn missing_crate_root_attribute_is_rejected() {
         Lint::CrateAttrs,
         1,
     );
+}
+
+#[test]
+fn service_crate_root_must_forbid_unsafe() {
+    let f = expect_single(
+        "crates/resilience-service/src/lib.rs",
+        include_str!("fixtures/fail/crate_attrs.rs"),
+        Lint::CrateAttrs,
+        1,
+    );
+    assert!(f.message.contains("forbid(unsafe_code)"), "{}", f.message);
 }
 
 #[test]

@@ -1,0 +1,715 @@
+//! The JSON document model, parser and compact renderer.
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Lossless round trips.** `parse(v.render()) == v` for every value
+//!    this module can build, and the typed layer above preserves `u64`
+//!    counts exactly ([`Number`] keeps integers out of `f64`) and float
+//!    bits exactly (shortest-round-trip rendering; non-finite floats via
+//!    the string policy documented at the crate root).
+//! 2. **Deterministic output.** Objects are ordered field lists, not hash
+//!    maps, so rendering is byte-stable and two equal values always render
+//!    identically — the service smoke test byte-compares responses.
+//! 3. **No dependencies.** Hand-rolled recursive descent; the only std
+//!    pieces used are `String`/`Vec` and the float `Display`/`FromStr`
+//!    round-trip guarantee.
+
+use crate::Deserialize;
+use std::fmt;
+
+/// Parse or shape error, with a breadcrumb of the field path where the
+/// typed layer rejected the document.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    msg: String,
+}
+
+impl JsonError {
+    /// A new error with the given message.
+    pub fn new(msg: impl Into<String>) -> Self {
+        Self { msg: msg.into() }
+    }
+
+    /// Prefixes a field-path breadcrumb (`"costs: expected number…"`).
+    pub fn in_context(self, ctx: &str) -> Self {
+        Self {
+            msg: format!("{ctx}: {}", self.msg),
+        }
+    }
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "json: {}", self.msg)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+/// A JSON number. Integers stay exact: the parser classifies any token
+/// without fraction or exponent part as `UInt`/`Int` when it fits, and
+/// falls back to `Float` otherwise (a 20+-digit integer still parses, at
+/// f64 precision, like every other JSON implementation).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Number {
+    /// Non-negative integer that fits `u64`.
+    UInt(u64),
+    /// Negative integer that fits `i64`.
+    Int(i64),
+    /// Everything else.
+    Float(f64),
+}
+
+/// A JSON value. Object fields keep their order (no hashing), so rendering
+/// is deterministic and insertion order is the wire order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any number.
+    Num(Number),
+    /// A string (unescaped form; escaping happens at render time).
+    Str(String),
+    /// `[ … ]`
+    Arr(Vec<Value>),
+    /// `{ … }`, fields in order.
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Builds a float value under the crate's non-finite policy: finite
+    /// floats are numbers, NaN/±∞ are their marker strings.
+    pub fn from_f64(x: f64) -> Value {
+        if x.is_finite() {
+            Value::Num(Number::Float(x))
+        } else if x.is_nan() {
+            Value::Str("NaN".to_owned())
+        } else if x > 0.0 {
+            Value::Str("Infinity".to_owned())
+        } else {
+            Value::Str("-Infinity".to_owned())
+        }
+    }
+
+    /// Convenience object constructor from `(key, value)` pairs.
+    pub fn obj(fields: Vec<(&str, Value)>) -> Value {
+        Value::Obj(fields.into_iter().map(|(k, v)| (k.to_owned(), v)).collect())
+    }
+
+    /// Short name of the value's kind, for error messages.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Num(_) => "number",
+            Value::Str(_) => "string",
+            Value::Arr(_) => "array",
+            Value::Obj(_) => "object",
+        }
+    }
+
+    /// Looks up an object field by key. `Err` when `self` is not an object
+    /// or the key is missing — the caller adds the field-name context.
+    pub fn get(&self, key: &str) -> Result<&Value, JsonError> {
+        match self {
+            Value::Obj(fields) => fields
+                .iter()
+                .find(|(k, _)| k == key)
+                .map(|(_, v)| v)
+                .ok_or_else(|| JsonError::new(format!("missing field \"{key}\""))),
+            other => Err(JsonError::new(format!(
+                "expected object with field \"{key}\", got {}",
+                other.kind_name()
+            ))),
+        }
+    }
+
+    /// Reads and converts field `key` of an object, with the field name in
+    /// any error message.
+    pub fn read<T: crate::Deserialize>(&self, key: &str) -> Result<T, JsonError> {
+        T::from_json(self.get(key)?).map_err(|e| e.in_context(key))
+    }
+
+    /// Like [`read`](Self::read) but treats a missing field as `null`
+    /// (for `Option` fields, so `{"x":null}` and `{}` decode identically).
+    pub fn read_opt<T: crate::Deserialize>(&self, key: &str) -> Result<Option<T>, JsonError> {
+        match self.get(key) {
+            Ok(v) => Option::<T>::from_json(v).map_err(|e| e.in_context(key)),
+            Err(_) => Ok(None),
+        }
+    }
+
+    /// Compact single-line JSON text. Always re-parses to `self`; never
+    /// contains raw control characters (they are escaped), so the output
+    /// is safe as one line-delimited message.
+    pub fn render(&self) -> String {
+        let mut out = String::with_capacity(64);
+        self.render_into(&mut out);
+        out
+    }
+
+    fn render_into(&self, out: &mut String) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(true) => out.push_str("true"),
+            Value::Bool(false) => out.push_str("false"),
+            Value::Num(Number::UInt(n)) => {
+                let mut buf = [0u8; 20];
+                out.push_str(fmt_u64(*n, &mut buf));
+            }
+            Value::Num(Number::Int(n)) => out.push_str(&n.to_string()),
+            Value::Num(Number::Float(x)) => render_float(*x, out),
+            Value::Str(s) => render_string(s, out),
+            Value::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.render_into(out);
+                }
+                out.push(']');
+            }
+            Value::Obj(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    render_string(k, out);
+                    out.push(':');
+                    v.render_into(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+/// Formats a `u64` into a stack buffer (object keys and counts dominate
+/// rendering; skipping the `to_string` allocation is nearly free here).
+fn fmt_u64(mut n: u64, buf: &mut [u8; 20]) -> &str {
+    let mut i = buf.len();
+    loop {
+        i -= 1;
+        buf[i] = b'0' + (n % 10) as u8;
+        n /= 10;
+        if n == 0 {
+            break;
+        }
+    }
+    // Digits are ASCII by construction.
+    std::str::from_utf8(&buf[i..]).expect("ascii digits")
+}
+
+/// Renders one float. Finite values use Rust's shortest-round-trip
+/// `Display` (guaranteed to re-parse to identical bits); an integral value
+/// gets a trailing `.0` so the token stays float-classified through a
+/// parse round trip. Non-finite values fall back to the marker strings —
+/// [`Value::from_f64`] never builds such a `Number`, but a hand-built one
+/// must still render as *valid* JSON.
+fn render_float(x: f64, out: &mut String) {
+    if !x.is_finite() {
+        Value::from_f64(x).render_into(out);
+        return;
+    }
+    let s = format!("{x}");
+    out.push_str(&s);
+    if !s.contains('.') && !s.contains('e') && !s.contains('E') {
+        out.push_str(".0");
+    }
+}
+
+/// Renders one string with JSON escaping: quote, backslash and all control
+/// characters (the two-character short forms where they exist, `\u00XX`
+/// otherwise). Everything else passes through as UTF-8.
+fn render_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Maximum array/object nesting the parser accepts. The workspace's wire
+/// types nest a handful of levels; the bound exists so a hostile
+/// `[[[[[…` line degrades into an error instead of a stack overflow.
+const MAX_DEPTH: usize = 128;
+
+/// Parses one JSON document. Trailing whitespace is allowed; trailing
+/// non-whitespace is an error (a line must be exactly one message).
+pub fn parse(s: &str) -> Result<Value, JsonError> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value(0)?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters after the document"));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, msg: &str) -> JsonError {
+        JsonError::new(format!("{msg} at byte {}", self.pos))
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Value) -> Result<Value, JsonError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(self.err(&format!("expected '{word}'")))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Value, JsonError> {
+        if depth > MAX_DEPTH {
+            return Err(self.err("nesting too deep"));
+        }
+        match self.peek() {
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'"') => self.string().map(Value::Str),
+            Some(b'[') => self.array(depth),
+            Some(b'{') => self.object(depth),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            Some(c) => Err(self.err(&format!("unexpected character '{}'", c as char))),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Value, JsonError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Value, JsonError> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let val = self.value(depth + 1)?;
+            fields.push((key, val));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Obj(fields));
+                }
+                _ => return Err(self.err("expected ',' or '}' in object")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            // Fast path: copy the unescaped run in one slice.
+            while let Some(c) = self.peek() {
+                if c == b'"' || c == b'\\' || c < 0x20 {
+                    break;
+                }
+                self.pos += 1;
+            }
+            // The slice boundaries sit on ASCII bytes, so this is valid
+            // UTF-8 whenever the input is (and `s.as_bytes()` of a &str
+            // always is).
+            out.push_str(
+                std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| self.err("invalid UTF-8 in string"))?,
+            );
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    self.escape(&mut out)?;
+                }
+                Some(_) => return Err(self.err("raw control character in string")),
+                None => return Err(self.err("unterminated string")),
+            }
+        }
+    }
+
+    fn escape(&mut self, out: &mut String) -> Result<(), JsonError> {
+        let c = self.peek().ok_or_else(|| self.err("dangling escape"))?;
+        self.pos += 1;
+        match c {
+            b'"' => out.push('"'),
+            b'\\' => out.push('\\'),
+            b'/' => out.push('/'),
+            b'b' => out.push('\u{08}'),
+            b'f' => out.push('\u{0c}'),
+            b'n' => out.push('\n'),
+            b'r' => out.push('\r'),
+            b't' => out.push('\t'),
+            b'u' => {
+                let hi = self.hex4()?;
+                let code = if (0xd800..0xdc00).contains(&hi) {
+                    // Surrogate pair: the low half must follow immediately.
+                    if self.peek() == Some(b'\\') {
+                        self.pos += 1;
+                        self.expect(b'u')
+                            .map_err(|_| self.err("expected low surrogate after high"))?;
+                        let lo = self.hex4()?;
+                        if !(0xdc00..0xe000).contains(&lo) {
+                            return Err(self.err("invalid low surrogate"));
+                        }
+                        0x10000 + ((hi - 0xd800) << 10) + (lo - 0xdc00)
+                    } else {
+                        return Err(self.err("unpaired high surrogate"));
+                    }
+                } else if (0xdc00..0xe000).contains(&hi) {
+                    return Err(self.err("unpaired low surrogate"));
+                } else {
+                    hi
+                };
+                out.push(char::from_u32(code).ok_or_else(|| self.err("invalid unicode escape"))?);
+            }
+            other => {
+                return Err(self.err(&format!("unknown escape '\\{}'", other as char)));
+            }
+        }
+        Ok(())
+    }
+
+    fn hex4(&mut self) -> Result<u32, JsonError> {
+        let mut v = 0u32;
+        for _ in 0..4 {
+            let c = self
+                .peek()
+                .ok_or_else(|| self.err("truncated \\u escape"))?;
+            let d = (c as char)
+                .to_digit(16)
+                .ok_or_else(|| self.err("non-hex digit in \\u escape"))?;
+            v = v * 16 + d;
+            self.pos += 1;
+        }
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<Value, JsonError> {
+        let start = self.pos;
+        let mut integral = true;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        if !matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            return Err(self.err("expected digit"));
+        }
+        // JSON forbids leading zeros ("01"); enforce so parse∘render stays
+        // a left inverse on exactly the strings render can emit.
+        if self.peek() == Some(b'0')
+            && matches!(self.bytes.get(self.pos + 1), Some(c) if c.is_ascii_digit())
+        {
+            return Err(self.err("leading zero in number"));
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        if self.peek() == Some(b'.') {
+            integral = false;
+            self.pos += 1;
+            if !matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                return Err(self.err("expected digit after decimal point"));
+            }
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            integral = false;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            if !matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                return Err(self.err("expected digit in exponent"));
+            }
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        // The token is ASCII by construction.
+        let tok = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("invalid number token"))?;
+        if integral {
+            if let Some(digits) = tok.strip_prefix('-') {
+                if let Ok(n) = digits.parse::<u64>() {
+                    if n == 0 {
+                        // "-0" is integral zero; keep it unsigned so it
+                        // compares equal to a rendered 0.
+                        return Ok(Value::Num(Number::UInt(0)));
+                    }
+                }
+                if let Ok(n) = tok.parse::<i64>() {
+                    return Ok(Value::Num(Number::Int(n)));
+                }
+            } else if let Ok(n) = tok.parse::<u64>() {
+                return Ok(Value::Num(Number::UInt(n)));
+            }
+        }
+        tok.parse::<f64>()
+            .map(|x| Value::Num(Number::Float(x)))
+            .map_err(|_| self.err("malformed number"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(v: &Value) {
+        let text = v.render();
+        let back = parse(&text).unwrap_or_else(|e| panic!("reparse of {text}: {e}"));
+        assert_eq!(&back, v, "through {text}");
+    }
+
+    #[test]
+    fn scalars_round_trip() {
+        for v in [
+            Value::Null,
+            Value::Bool(true),
+            Value::Bool(false),
+            Value::Num(Number::UInt(0)),
+            Value::Num(Number::UInt(u64::MAX)),
+            Value::Num(Number::Int(-1)),
+            Value::Num(Number::Int(i64::MIN)),
+            Value::Num(Number::Float(0.1)),
+            Value::Num(Number::Float(-2.5e-300)),
+            Value::Num(Number::Float(1e300)),
+            Value::Str(String::new()),
+            Value::Str("plain".into()),
+        ] {
+            roundtrip(&v);
+        }
+    }
+
+    #[test]
+    fn u64_above_2_53_stays_exact() {
+        let n = (1u64 << 53) + 1;
+        let v = Value::Num(Number::UInt(n));
+        assert_eq!(v.render(), "9007199254740993");
+        roundtrip(&v);
+    }
+
+    #[test]
+    fn integral_floats_keep_a_fraction_marker() {
+        let mut s = String::new();
+        render_float(2.0, &mut s);
+        assert_eq!(s, "2.0");
+        // …and therefore round-trip as floats, not integers.
+        roundtrip(&Value::Num(Number::Float(2.0)));
+        roundtrip(&Value::Num(Number::Float(-1.0)));
+    }
+
+    #[test]
+    fn nonfinite_policy() {
+        assert_eq!(Value::from_f64(f64::NAN).render(), "\"NaN\"");
+        assert_eq!(Value::from_f64(f64::INFINITY).render(), "\"Infinity\"");
+        assert_eq!(Value::from_f64(f64::NEG_INFINITY).render(), "\"-Infinity\"");
+        // A hand-built non-finite Number still renders as valid JSON.
+        assert_eq!(Value::Num(Number::Float(f64::NAN)).render(), "\"NaN\"");
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        for s in [
+            "with \"quotes\" and \\backslash\\",
+            "newline\nand\ttab\rand\u{08}bell\u{0c}",
+            "control \u{01}\u{1f} chars",
+            "unicode: ünïcødé 漢字 🦀",
+            "forward/slash",
+        ] {
+            roundtrip(&Value::Str(s.to_owned()));
+        }
+    }
+
+    #[test]
+    fn unicode_escapes_parse() {
+        assert_eq!(parse(r#""Aé漢""#).unwrap(), Value::Str("Aé漢".into()));
+        // Surrogate pair for U+1F980 (crab).
+        assert_eq!(parse(r#""🦀""#).unwrap(), Value::Str("🦀".into()));
+        assert!(parse(r#""\ud83e""#).is_err(), "unpaired high surrogate");
+        assert!(parse(r#""\udd80""#).is_err(), "unpaired low surrogate");
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        let v = Value::obj(vec![
+            ("empty_arr", Value::Arr(vec![])),
+            ("empty_obj", Value::Obj(vec![])),
+            (
+                "nested",
+                Value::Arr(vec![
+                    Value::Null,
+                    Value::obj(vec![("k", Value::Num(Number::Float(1.5)))]),
+                ]),
+            ),
+        ]);
+        roundtrip(&v);
+    }
+
+    #[test]
+    fn whitespace_tolerated_between_tokens() {
+        let v = parse(" { \"a\" : [ 1 , 2 ] , \"b\" : null } ").unwrap();
+        assert_eq!(
+            v,
+            Value::obj(vec![
+                (
+                    "a",
+                    Value::Arr(vec![
+                        Value::Num(Number::UInt(1)),
+                        Value::Num(Number::UInt(2))
+                    ])
+                ),
+                ("b", Value::Null),
+            ])
+        );
+    }
+
+    #[test]
+    fn malformed_documents_error() {
+        for bad in [
+            "",
+            "{",
+            "}",
+            "[1,",
+            "[1 2]",
+            "{\"a\"}",
+            "{\"a\":}",
+            "tru",
+            "nul",
+            "01",
+            "1.",
+            "1e",
+            "-",
+            "\"unterminated",
+            "\"bad \\q escape\"",
+            "1 2",
+            "[1]]",
+            "{\"a\":1,}",
+        ] {
+            assert!(parse(bad).is_err(), "{bad:?} should not parse");
+        }
+    }
+
+    #[test]
+    fn deep_nesting_is_bounded() {
+        let deep = "[".repeat(500) + &"]".repeat(500);
+        assert!(parse(&deep).is_err());
+        let ok = "[".repeat(64) + &"]".repeat(64);
+        assert!(parse(&ok).is_ok());
+    }
+
+    #[test]
+    fn minus_zero_integer_is_zero() {
+        assert_eq!(parse("-0").unwrap(), Value::Num(Number::UInt(0)));
+    }
+
+    #[test]
+    fn float_bits_survive_many_random_values() {
+        // Deterministic splitmix64 over the f64 space: every finite value
+        // drawn must survive render→parse→read bit-for-bit.
+        let mut state = 0x9e37_79b9_7f4a_7c15u64;
+        let mut next = move || {
+            state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        let mut tested = 0;
+        for _ in 0..2000 {
+            let x = f64::from_bits(next());
+            if !x.is_finite() {
+                continue;
+            }
+            tested += 1;
+            let text = Value::from_f64(x).render();
+            let back = match parse(&text).unwrap() {
+                Value::Num(Number::Float(f)) => f,
+                Value::Num(Number::UInt(n)) => n as f64,
+                Value::Num(Number::Int(n)) => n as f64,
+                other => panic!("{text} parsed as {other:?}"),
+            };
+            assert_eq!(back.to_bits(), x.to_bits(), "{x:?} via {text}");
+        }
+        assert!(tested > 1500, "random draw produced too few finite floats");
+    }
+}

@@ -1,18 +1,239 @@
-//! Offline stand-in for the `serde` crate.
+#![forbid(unsafe_code)]
+//! Offline stand-in for the `serde` crate — now a *real* wire format.
 //!
-//! The build environment cannot reach a crates registry, so this shim
-//! provides just the names the workspace imports: the `Serialize` and
-//! `Deserialize` marker traits and (behind the `derive` feature, mirroring
-//! real serde) the corresponding derives. Types deriving them compile and
-//! carry the impls, but no wire format exists until the workspace
-//! `Cargo.toml` is repointed at real serde.
+//! The build environment cannot reach a crates registry, so the workspace
+//! vendors its serialization layer. Until PR 8 this crate was a no-op
+//! marker shim; it is now a small, hand-rolled, derive-free JSON module:
+//!
+//! * [`json::Value`] — the JSON document model, with a [`json::Number`]
+//!   that keeps `u64`/`i64` integers exact instead of routing everything
+//!   through `f64` (a `count: u64` above 2⁵³ must round-trip losslessly);
+//! * [`json::parse`] — a recursive-descent parser over the full JSON
+//!   grammar (string escapes incl. `\uXXXX` surrogate pairs, exponent
+//!   forms, nesting-depth bound);
+//! * [`json::Value::render`] — a compact single-line writer whose output
+//!   always re-parses to the same value, so rendered documents can be used
+//!   as line-delimited wire messages and byte-compared in tests;
+//! * [`Serialize`] / [`Deserialize`] — the trait pair workspace types
+//!   implement *by hand* (field-by-field, no derive macro), giving every
+//!   wire type `to_json`/`from_json` plus string-level conveniences.
+//!
+//! # Non-finite float policy
+//!
+//! JSON has no NaN or ±∞ literals. This layer encodes them as the strings
+//! `"NaN"`, `"Infinity"` and `"-Infinity"`; `f64::from_json` accepts
+//! exactly those strings back (NaN canonicalizes to `f64::NAN`, so a NaN
+//! round-trips to the canonical quiet-NaN bit pattern). Finite floats
+//! render through Rust's shortest-round-trip `Display` and re-parse to the
+//! identical bits. Every other occurrence of those strings is an ordinary
+//! JSON string — only a *float-typed field* interprets them specially.
+//!
+//! The `serde` crate name is kept so the workspace dependency line stays a
+//! two-line swap if a registry ever becomes reachable, but the API is the
+//! explicit `to_json`/`from_json` pair, not serde's visitor machinery.
 
-/// Marker stand-in for `serde::Serialize`.
-pub trait Serialize {}
+pub mod json;
 
-/// Marker stand-in for `serde::Deserialize` (lifetime parameter dropped —
-/// nothing in the workspace bounds on it).
-pub trait Deserialize {}
+pub use json::{parse, JsonError, Number, Value};
 
-#[cfg(feature = "derive")]
-pub use serde_derive::{Deserialize, Serialize};
+/// Types that can render themselves as a JSON value.
+pub trait Serialize {
+    /// The JSON document for `self`.
+    fn to_json(&self) -> Value;
+
+    /// Compact single-line JSON text (never contains a raw newline, so it
+    /// is directly usable as one line-delimited wire message).
+    fn to_json_string(&self) -> String {
+        self.to_json().render()
+    }
+}
+
+/// Types that can reconstruct themselves from a JSON value.
+pub trait Deserialize: Sized {
+    /// Reconstructs `Self`, reporting a message naming the offending field
+    /// on shape or domain errors.
+    fn from_json(v: &Value) -> Result<Self, JsonError>;
+
+    /// Parses JSON text and reconstructs `Self` from it.
+    fn from_json_str(s: &str) -> Result<Self, JsonError> {
+        Self::from_json(&json::parse(s)?)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------------
+
+impl Serialize for bool {
+    fn to_json(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_json(v: &Value) -> Result<Self, JsonError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(JsonError::new(format!(
+                "expected bool, got {}",
+                other.kind_name()
+            ))),
+        }
+    }
+}
+
+impl Serialize for u64 {
+    fn to_json(&self) -> Value {
+        Value::Num(Number::UInt(*self))
+    }
+}
+
+impl Deserialize for u64 {
+    fn from_json(v: &Value) -> Result<Self, JsonError> {
+        match v {
+            Value::Num(Number::UInt(n)) => Ok(*n),
+            Value::Num(Number::Int(n)) if *n >= 0 => Ok(*n as u64),
+            other => Err(JsonError::new(format!(
+                "expected non-negative integer, got {}",
+                other.kind_name()
+            ))),
+        }
+    }
+}
+
+impl Serialize for usize {
+    fn to_json(&self) -> Value {
+        Value::Num(Number::UInt(*self as u64))
+    }
+}
+
+impl Deserialize for usize {
+    fn from_json(v: &Value) -> Result<Self, JsonError> {
+        let n = u64::from_json(v)?;
+        usize::try_from(n)
+            .map_err(|_| JsonError::new(format!("integer {n} does not fit this platform's usize")))
+    }
+}
+
+impl Serialize for i64 {
+    fn to_json(&self) -> Value {
+        if *self >= 0 {
+            Value::Num(Number::UInt(*self as u64))
+        } else {
+            Value::Num(Number::Int(*self))
+        }
+    }
+}
+
+impl Deserialize for i64 {
+    fn from_json(v: &Value) -> Result<Self, JsonError> {
+        match v {
+            Value::Num(Number::Int(n)) => Ok(*n),
+            Value::Num(Number::UInt(n)) => {
+                i64::try_from(*n).map_err(|_| JsonError::new(format!("integer {n} overflows i64")))
+            }
+            other => Err(JsonError::new(format!(
+                "expected integer, got {}",
+                other.kind_name()
+            ))),
+        }
+    }
+}
+
+impl Serialize for f64 {
+    fn to_json(&self) -> Value {
+        Value::from_f64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_json(v: &Value) -> Result<Self, JsonError> {
+        match v {
+            Value::Num(Number::Float(x)) => Ok(*x),
+            // Integral JSON numbers are valid floats: a finite integral f64
+            // renders without a fraction part, so it parses back as an
+            // integer and must convert losslessly here (u64→f64 rounds to
+            // nearest, and the original float *is* that nearest value).
+            Value::Num(Number::UInt(n)) => Ok(*n as f64),
+            Value::Num(Number::Int(n)) => Ok(*n as f64),
+            Value::Str(s) => match s.as_str() {
+                "NaN" => Ok(f64::NAN),
+                "Infinity" => Ok(f64::INFINITY),
+                "-Infinity" => Ok(f64::NEG_INFINITY),
+                _ => Err(JsonError::new(format!(
+                    "expected number (or \"NaN\"/\"Infinity\"/\"-Infinity\"), got string \"{s}\""
+                ))),
+            },
+            other => Err(JsonError::new(format!(
+                "expected number, got {}",
+                other.kind_name()
+            ))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_json(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Serialize for str {
+    fn to_json(&self) -> Value {
+        Value::Str(self.to_owned())
+    }
+}
+
+impl Deserialize for String {
+    fn from_json(v: &Value) -> Result<Self, JsonError> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(JsonError::new(format!(
+                "expected string, got {}",
+                other.kind_name()
+            ))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_json(&self) -> Value {
+        Value::Arr(self.iter().map(Serialize::to_json).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_json(v: &Value) -> Result<Self, JsonError> {
+        match v {
+            Value::Arr(items) => items
+                .iter()
+                .enumerate()
+                .map(|(i, item)| T::from_json(item).map_err(|e| e.in_context(&format!("[{i}]"))))
+                .collect(),
+            other => Err(JsonError::new(format!(
+                "expected array, got {}",
+                other.kind_name()
+            ))),
+        }
+    }
+}
+
+/// `None` ↔ `null`. No workspace type serializes to `null` itself, so the
+/// encoding is unambiguous.
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_json(&self) -> Value {
+        match self {
+            Some(t) => t.to_json(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_json(v: &Value) -> Result<Self, JsonError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_json(other).map(Some),
+        }
+    }
+}
