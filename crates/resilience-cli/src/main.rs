@@ -2,10 +2,12 @@
 //! the sharded sweep executor.
 //!
 //! ```text
-//! resilience-cli [sweep|nodes|mtbf|recall|grid|bench|serve]
+//! resilience-cli [sweep|nodes|mtbf|recall|grid|bench|serve|orchestrate]
 //!                [--reps N] [--threads N] [--seed S] [--grid-size K]
-//!                [--shard I/N] [--engine event|batch|simd|auto]
+//!                [--shard I/N] [--engine event|batch|simd|auto] [--trailer]
 //!                [--bench-out PATH] [--guard] [--sweep-only] [--port P]
+//!                [--workers W] [--units U] [--deadline-ms D]
+//!                [--backoff-ms B] [--max-respawns R] [--fault-plan PLAN]
 //! ```
 //!
 //! * `sweep`  — the three reference scenarios × Theorems 1–4 (default);
@@ -29,7 +31,14 @@
 //!   optimum/overhead/sweep-cell queries over stdin/stdout, or TCP with
 //!   `--port P` (`--port 0` picks an ephemeral port, announced on stderr).
 //!   Concurrent queries coalesce into batches against the shared optimum
-//!   cache under an adaptive window; see the `resilience-service` crate.
+//!   cache under an adaptive window; see the `resilience-service` crate;
+//! * `orchestrate` — the fault-tolerant sweep coordinator: partitions the
+//!   (analytic) grid slice into sub-shard work units, runs them as
+//!   supervised `grid --shard --trailer` worker subprocesses, verifies
+//!   each unit's checksum trailer, retries fail-stop deaths with seeded
+//!   backoff, speculatively reassigns stragglers, and merges the units in
+//!   order — byte-identical to the serial unsharded run; see the
+//!   `resilience-coord` crate.
 //!
 //! Each flag belongs to specific subcommands; giving one where it cannot
 //! apply is an error naming the flag, never a silent no-op.
@@ -56,12 +65,16 @@ use resilience::{
     grid_spec, reference_scenarios, validation_scenarios, CostModel, Platform, Scenario, SweepSpec,
     Theorem, GRID_AXIS_LEN,
 };
+use resilience_coord::{CoordConfig, FaultInjector, FaultPlan, TrailerWriter, WorkerFault};
+use resilience_service::protocol::{ShardTrailer, WorkerEvent};
+use serde::Serialize;
 use sim::executor::{CellResult, SimSettings, SweepExecutor};
 use sim::runner::thread_cap;
 use sim::{Backend, SimdEngine};
 use stats::rates::YEAR;
 use stats::table::{Align, TableFormat};
 use std::io::Write;
+use std::time::Duration;
 
 const DEFAULT_REPS: u64 = 4_000;
 const DEFAULT_BENCH_REPS: u64 = 1_000_000;
@@ -115,7 +128,34 @@ struct Args {
     /// `serve --port P`: TCP daemon port (`0` = ephemeral). `None` with
     /// `serve` means the stdin/stdout pipe transport.
     port: Option<u16>,
+    /// Sweep commands: emit the per-shard checksum/count trailer (and the
+    /// heartbeat progress events) as line-delimited JSON on stderr.
+    trailer: bool,
+    /// `orchestrate --workers W`: supervised worker-process slots.
+    workers: usize,
+    /// `orchestrate --units U`: work units to split the slice into
+    /// (`None` = 4 per worker).
+    units: Option<usize>,
+    /// `orchestrate --deadline-ms D`: no heartbeat for this long marks a
+    /// running unit as a straggler.
+    deadline_ms: u64,
+    /// `orchestrate --backoff-ms B`: base retry delay.
+    backoff_ms: u64,
+    /// `orchestrate --max-respawns R`: failed rounds per unit before
+    /// degrading to in-process execution.
+    max_respawns: u32,
+    /// `orchestrate --fault-plan PLAN`: injected worker faults
+    /// (see `resilience-coord`'s plan grammar); empty = none.
+    fault_plan: String,
 }
+
+/// Orchestrate defaults, shared with the help text.
+const DEFAULT_WORKERS: usize = 4;
+const DEFAULT_DEADLINE_MS: u64 = 10_000;
+const DEFAULT_BACKOFF_MS: u64 = 50;
+const DEFAULT_MAX_RESPAWNS: u32 = 2;
+/// Heartbeat cadence of `--trailer` workers, in stdout lines.
+const PROGRESS_EVERY_LINES: u64 = 128;
 
 /// The sweep-table subcommands `--shard` (and the executor) apply to.
 const SWEEP_COMMANDS: [&str; 5] = ["sweep", "nodes", "mtbf", "recall", "grid"];
@@ -133,6 +173,13 @@ fn parse_args() -> Args {
         guard: false,
         sweep_only: false,
         port: None,
+        trailer: false,
+        workers: DEFAULT_WORKERS,
+        units: None,
+        deadline_ms: DEFAULT_DEADLINE_MS,
+        backoff_ms: DEFAULT_BACKOFF_MS,
+        max_respawns: DEFAULT_MAX_RESPAWNS,
+        fault_plan: String::new(),
     };
     // Which flags actually appeared, so `validate` can reject any that do
     // not apply to the chosen subcommand (defaults never trip the check).
@@ -142,7 +189,7 @@ fn parse_args() -> Args {
     let mut i = 0;
     while i < argv.len() {
         match argv[i].as_str() {
-            "sweep" | "nodes" | "mtbf" | "recall" | "grid" | "bench" | "serve" => {
+            "sweep" | "nodes" | "mtbf" | "recall" | "grid" | "bench" | "serve" | "orchestrate" => {
                 if let Some(first) = &explicit_command {
                     die(&format!(
                         "unexpected second command \"{}\" (already running {first}); \
@@ -196,14 +243,44 @@ fn parse_args() -> Args {
                 seen.push("--port");
                 args.port = Some(parse_num("--port", &take_value(&argv, &mut i)));
             }
+            "--trailer" => {
+                seen.push("--trailer");
+                args.trailer = true;
+            }
+            "--workers" => {
+                seen.push("--workers");
+                args.workers = parse_num("--workers", &take_value(&argv, &mut i));
+            }
+            "--units" => {
+                seen.push("--units");
+                args.units = Some(parse_num("--units", &take_value(&argv, &mut i)));
+            }
+            "--deadline-ms" => {
+                seen.push("--deadline-ms");
+                args.deadline_ms = parse_num("--deadline-ms", &take_value(&argv, &mut i));
+            }
+            "--backoff-ms" => {
+                seen.push("--backoff-ms");
+                args.backoff_ms = parse_num("--backoff-ms", &take_value(&argv, &mut i));
+            }
+            "--max-respawns" => {
+                seen.push("--max-respawns");
+                args.max_respawns = parse_num("--max-respawns", &take_value(&argv, &mut i));
+            }
+            "--fault-plan" => {
+                seen.push("--fault-plan");
+                args.fault_plan = take_value(&argv, &mut i);
+            }
             "--help" | "-h" => {
                 // Through out(), not println!: `--help | head` must exit
                 // quietly instead of panicking on the closed pipe.
                 out(&format!(
-                    "usage: resilience-cli [sweep|nodes|mtbf|recall|grid|bench|serve]\n\
+                    "usage: resilience-cli [sweep|nodes|mtbf|recall|grid|bench|serve|orchestrate]\n\
                      \x20                     [--reps N] [--threads N] [--seed S] [--grid-size K]\n\
-                     \x20                     [--shard I/N] [--engine event|batch|simd|auto]\n\
+                     \x20                     [--shard I/N] [--engine event|batch|simd|auto] [--trailer]\n\
                      \x20                     [--bench-out PATH] [--guard] [--sweep-only] [--port P]\n\
+                     \x20                     [--workers W] [--units U] [--deadline-ms D]\n\
+                     \x20                     [--backoff-ms B] [--max-respawns R] [--fault-plan PLAN]\n\
                      \n\
                      \x20 sweep    reference scenarios x theorems 1-4 (default)\n\
                      \x20 nodes    node-count sweep, theorem 4\n\
@@ -218,6 +295,11 @@ fn parse_args() -> Args {
                      \x20 serve    resilience-as-a-service daemon: line-delimited JSON queries\n\
                      \x20          (optimum/overhead/sweep_cell/stats/shutdown) over stdin/stdout,\n\
                      \x20          or TCP with --port; concurrent queries coalesce into batches\n\
+                     \x20 orchestrate  fault-tolerant sweep coordinator: split the (analytic)\n\
+                     \x20          grid slice into sub-shard units, run them as supervised\n\
+                     \x20          worker subprocesses with checksum-verified merge, retry\n\
+                     \x20          with seeded backoff, and speculatively reassign stragglers;\n\
+                     \x20          output is byte-identical to the serial unsharded run\n\
                      \n\
                      \x20 --reps N       Monte-Carlo replications per cell (>= 1; default {DEFAULT_REPS};\n\
                      \x20                grid: only up to --grid-size {GRID_SIM_MAX})\n\
@@ -246,7 +328,24 @@ fn parse_args() -> Args {
                      \x20                --guard, gate) only the analytic sweep throughput\n\
                      \x20 --port P       serve only: listen on 127.0.0.1:P (0 picks an ephemeral\n\
                      \x20                port, announced as \"listening on ...\" on stderr);\n\
-                     \x20                without --port, serve speaks over stdin/stdout"
+                     \x20                without --port, serve speaks over stdin/stdout\n\
+                     \x20 --trailer      sweep commands: emit the per-shard checksum/count trailer\n\
+                     \x20                and heartbeat progress events as line-delimited JSON on\n\
+                     \x20                stderr (what orchestrate's verification consumes)\n\
+                     \x20 --workers W    orchestrate only: supervised worker-process slots\n\
+                     \x20                (default {DEFAULT_WORKERS})\n\
+                     \x20 --units U      orchestrate only: work units per slice (default 4 per\n\
+                     \x20                worker); each runs as one grid --shard subprocess\n\
+                     \x20 --deadline-ms D  orchestrate only: a unit with no heartbeat for D ms is\n\
+                     \x20                a straggler and gets a speculative duplicate\n\
+                     \x20                (default {DEFAULT_DEADLINE_MS})\n\
+                     \x20 --backoff-ms B orchestrate only: base retry delay; attempt k waits\n\
+                     \x20                B*2^(k-1) ms +/- seeded jitter (default {DEFAULT_BACKOFF_MS})\n\
+                     \x20 --max-respawns R  orchestrate only: failed rounds per unit before it\n\
+                     \x20                degrades to in-process execution (default {DEFAULT_MAX_RESPAWNS})\n\
+                     \x20 --fault-plan PLAN  orchestrate only: inject worker faults, ;-joined\n\
+                     \x20                kill:U:K / stall:U:L:MS / corrupt:U:L entries (U = unit\n\
+                     \x20                index; ! after the keyword re-arms on every spawn)"
                 ));
                 std::process::exit(0);
             }
@@ -267,25 +366,46 @@ fn flag_misuse(command: &str, reps: Option<u64>, flag: &str) -> Option<String> {
         "--guard" | "--sweep-only" | "--bench-out" if command != "bench" => {
             Some(format!("{flag} applies to bench, not {command}"))
         }
-        "--shard" if !SWEEP_COMMANDS.contains(&command) => {
-            Some(format!("--shard applies to sweep commands, not {command}"))
-        }
-        "--grid-size" if command != "grid" => {
-            Some(format!("--grid-size applies to grid, not {command}"))
-        }
+        "--shard" if !SWEEP_COMMANDS.contains(&command) && command != "orchestrate" => Some(
+            format!("--shard applies to sweep commands and orchestrate, not {command}"),
+        ),
+        "--grid-size" if command != "grid" && command != "orchestrate" => Some(format!(
+            "--grid-size applies to grid and orchestrate, not {command}"
+        )),
         "--port" if command != "serve" => Some(format!("--port applies to serve, not {command}")),
+        "--trailer" if !SWEEP_COMMANDS.contains(&command) => Some(format!(
+            "--trailer applies to sweep commands, not {command} (orchestrate's workers \
+             emit it themselves)"
+        )),
+        "--workers" | "--units" | "--deadline-ms" | "--backoff-ms" | "--max-respawns"
+        | "--fault-plan"
+            if command != "orchestrate" =>
+        {
+            Some(format!("{flag} applies to orchestrate, not {command}"))
+        }
         "--engine" if command == "bench" => {
             Some("--engine does not apply to bench (the bench matrix times every engine)".into())
         }
         "--engine" if command == "serve" => {
             Some("--engine applies to simulated sweeps, not serve".into())
         }
+        "--engine" if command == "orchestrate" => Some(
+            "--engine applies to simulated sweeps; orchestrate's workers are analytic-only".into(),
+        ),
         "--engine" if command == "grid" && reps.is_none() => {
             Some("--engine applies to simulated runs; grid without --reps is analytic-only".into())
         }
         "--reps" | "--threads" | "--seed" if command == "serve" => Some(format!(
             "{flag} applies to sweep and bench commands, not serve"
         )),
+        "--reps" if command == "orchestrate" => Some(
+            "--reps applies to simulated sweeps; orchestrate's workers are analytic-only".into(),
+        ),
+        "--threads" if command == "orchestrate" => Some(
+            "--threads applies to sweep and bench commands; orchestrate scales with --workers \
+             (each worker runs its unit serially)"
+                .into(),
+        ),
         _ => None,
     }
 }
@@ -299,6 +419,23 @@ fn validate(args: &mut Args, seen: &[&'static str]) {
     if args.command == "serve" {
         // Serve takes no sweep/bench flags (all rejected above); the
         // numeric sanity checks below are sweep/bench concerns.
+        return;
+    }
+    if args.command == "orchestrate" {
+        if args.workers == 0 {
+            die("--workers must be at least 1");
+        }
+        if args.units == Some(0) {
+            die("--units must be at least 1");
+        }
+        if args.deadline_ms == 0 {
+            die("--deadline-ms must be at least 1 (a zero deadline marks every unit a straggler instantly)");
+        }
+        if args.grid_size == 0 || args.grid_size > GRID_AXIS_MAX {
+            die(&format!("--grid-size must lie in 1..={GRID_AXIS_MAX}"));
+        }
+        // The orchestrate-specific fault-plan grammar is validated where
+        // it is parsed; the remaining checks below are sweep concerns.
         return;
     }
     if args.reps == Some(0) {
@@ -459,20 +596,9 @@ fn put(w: &mut impl Write, line: &str) {
     }
 }
 
-/// Streams the sweep through the executor as a formatted table: rows print
-/// in deterministic cell order as their prefixes complete. Output is
-/// buffered — a million-cell grid writes blocks, not one syscall per row.
-/// Only the cells of `range` print; the header prints when `with_header`
-/// (shard 0 or an unsharded run), so concatenating a shard partition's
-/// stdout reproduces the full table byte for byte.
-fn print_table(
-    executor: &SweepExecutor,
-    spec: &SweepSpec,
-    range: std::ops::Range<usize>,
-    sim: Option<SimSettings>,
-    name_width: usize,
-    with_header: bool,
-) {
+/// The sweep table's column layout (simulated sweeps append the
+/// Monte-Carlo columns).
+fn table_format(simulated: bool, name_width: usize) -> TableFormat {
     let mut fmt = TableFormat::new()
         .col("scenario", name_width, Align::Left)
         .col("pattern", 9, Align::Left)
@@ -481,23 +607,109 @@ fn print_table(
         .col("pv", 4, Align::Right)
         .col("W*(s)", 9, Align::Right)
         .col("H*(%)", 9, Align::Right);
-    if sim.is_some() {
+    if simulated {
         fmt = fmt
             .col("sim(%) ± ci", 18, Align::Right)
             .col("ckpt/h", 8, Align::Right)
             .col("rec/d", 8, Align::Right);
     }
-    let stdout = std::io::stdout();
-    let mut w = std::io::BufWriter::with_capacity(1 << 16, stdout.lock());
-    if with_header {
-        put(&mut w, &fmt.header());
-        put(&mut w, &fmt.rule());
+    fmt
+}
+
+/// Streams the sweep through the executor as a formatted table into any
+/// writer: rows render in deterministic cell order as their prefixes
+/// complete. Only the cells of `range` render; the header renders when
+/// `with_header` (shard 0 or an unsharded run), so concatenating a shard
+/// partition's output reproduces the full table byte for byte. The first
+/// write error stops rendering (the executor still drains) and is
+/// returned — the stdout path maps it to a quiet exit, the coordinator's
+/// in-process fallback propagates it.
+fn render_table(
+    executor: &SweepExecutor,
+    spec: &SweepSpec,
+    range: std::ops::Range<usize>,
+    sim: Option<SimSettings>,
+    name_width: usize,
+    with_header: bool,
+    w: &mut dyn Write,
+) -> std::io::Result<()> {
+    let fmt = table_format(sim.is_some(), name_width);
+    let mut err: Option<std::io::Error> = None;
+    {
+        let mut emit = |w: &mut dyn Write, line: &str| {
+            if err.is_none() {
+                if let Err(e) = writeln!(w, "{line}") {
+                    err = Some(e);
+                }
+            }
+        };
+        if with_header {
+            emit(w, &fmt.header());
+            emit(w, &fmt.rule());
+        }
+        executor.run_streaming_range(spec, range, sim, |r| {
+            emit(w, &fmt.row(&render_cells(&r)));
+        });
     }
-    executor.run_streaming_range(spec, range, sim, |r| {
-        put(&mut w, &fmt.row(&render_cells(&r)))
+    match err {
+        Some(e) => Err(e),
+        None => Ok(()),
+    }
+}
+
+/// Runs one sweep-table command to stdout, buffered — a million-cell grid
+/// writes blocks, not one syscall per row. With `--trailer` (or injected
+/// faults armed via [`resilience_coord::FAULT_ENV`]) the write stack
+/// becomes `TrailerWriter → FaultInjector → BufWriter`: the trailer
+/// digests the intended bytes, heartbeat/trailer events go to stderr as
+/// line-delimited JSON, and faults tamper below the digest — so an
+/// injected corruption looks exactly like a real silent error to the
+/// coordinator. A closed stdout pipe exits quietly (`grid | head`).
+fn print_table(
+    executor: &SweepExecutor,
+    spec: &SweepSpec,
+    range: std::ops::Range<usize>,
+    sim: Option<SimSettings>,
+    name_width: usize,
+    with_header: bool,
+    args: &Args,
+) {
+    let faults = match std::env::var(resilience_coord::FAULT_ENV) {
+        Ok(v) => WorkerFault::decode_env(&v).unwrap_or_else(|e| die(&e)),
+        Err(_) => Vec::new(),
+    };
+    let cells = range.len() as u64;
+    let stdout = std::io::stdout();
+    let buffered = std::io::BufWriter::with_capacity(1 << 16, stdout.lock());
+    if !args.trailer && faults.is_empty() {
+        let mut w = buffered;
+        if render_table(executor, spec, range, sim, name_width, with_header, &mut w).is_err()
+            || w.flush().is_err()
+        {
+            std::process::exit(0);
+        }
+        return;
+    }
+    let injector = FaultInjector::new(buffered, faults);
+    let mut w = TrailerWriter::new(injector, PROGRESS_EVERY_LINES, |lines| {
+        eprintln!("{}", WorkerEvent::Progress { lines }.to_json_string());
     });
-    if w.flush().is_err() {
+    if render_table(executor, spec, range, sim, name_width, with_header, &mut w).is_err() {
         std::process::exit(0);
+    }
+    let Ok((_, fnv64, lines, bytes)) = w.finish() else {
+        std::process::exit(0);
+    };
+    if args.trailer {
+        let (i, n) = args.shard.unwrap_or((0, 1));
+        let trailer = ShardTrailer {
+            shard: format!("{i}/{n}"),
+            cells,
+            lines,
+            bytes,
+            fnv64,
+        };
+        eprintln!("{}", WorkerEvent::Trailer(trailer).to_json_string());
     }
 }
 
@@ -963,6 +1175,67 @@ fn sweep_guard_note(sweep: &SweepBench) -> String {
     )
 }
 
+/// `orchestrate`: the fault-tolerant sweep coordinator. Partitions the
+/// grid slice into sub-shard work units, dispatches each as a supervised
+/// `grid --shard J/M --trailer` worker subprocess of this same binary, and
+/// streams the checksum-verified units to stdout in order — byte-identical
+/// to the serial unsharded run. Fail-stop deaths retry with seeded
+/// backoff, stragglers get speculative duplicates, silent corruption is
+/// caught by trailer verification and re-executed, and a unit that
+/// exhausts `--max-respawns` renders in-process instead. The counters
+/// land on stderr: one line-delimited JSON `summary` event (what the
+/// chaos tests assert on), then a human-readable recap.
+fn run_orchestrate(args: &Args) {
+    let plan = FaultPlan::parse(&args.fault_plan).unwrap_or_else(|e| die(&e));
+    let program = std::env::current_exe()
+        .unwrap_or_else(|e| die(&format!("orchestrate: cannot locate own binary: {e}")));
+    let spec = grid_spec(args.grid_size);
+    let cfg = CoordConfig {
+        program,
+        grid_size: args.grid_size,
+        cells: spec.len(),
+        slice: args.shard.unwrap_or((0, 1)),
+        units: args.units.unwrap_or(args.workers * 4).max(1),
+        workers: args.workers,
+        seed: args.seed,
+        deadline: Duration::from_millis(args.deadline_ms),
+        backoff_base: Duration::from_millis(args.backoff_ms),
+        max_respawns: args.max_respawns,
+        plan,
+    };
+    // The in-process degradation path renders through the exact table
+    // pipeline the workers use, so fallback units merge byte-identically.
+    let executor = SweepExecutor::new(1);
+    let mut fallback = |range: std::ops::Range<usize>, with_header: bool| {
+        let mut buf = Vec::new();
+        render_table(&executor, &spec, range, None, 20, with_header, &mut buf)?;
+        Ok(buf)
+    };
+    let stdout = std::io::stdout();
+    let mut w = std::io::BufWriter::with_capacity(1 << 16, stdout.lock());
+    let report = match resilience_coord::run(&cfg, &mut w, &mut fallback) {
+        Ok(report) => report,
+        // `orchestrate | head`: a closed merge pipe is a quiet exit, like
+        // every other table command.
+        Err(e) if e.kind() == std::io::ErrorKind::BrokenPipe => std::process::exit(0),
+        Err(e) => die(&format!("orchestrate: {e}")),
+    };
+    eprintln!("{}", report.to_json_string());
+    eprintln!(
+        "orchestrate: merged {} unit(s) / {} bytes via {} worker spawn(s): \
+         {} fail-stop retries, {} verify failures, {} straggler reassignments, \
+         {} duplicates discarded, {} in-process fallbacks",
+        report.units,
+        report.merged_bytes,
+        report.workers_spawned,
+        report.fail_stop_retries,
+        report.verify_failures,
+        report.straggler_reassignments,
+        report.duplicates_discarded,
+        report.inproc_fallbacks,
+    );
+}
+
 fn main() {
     let args = parse_args();
     if args.command == "serve" {
@@ -978,6 +1251,10 @@ fn main() {
     }
     if args.command == "bench" {
         run_bench(&args);
+        return;
+    }
+    if args.command == "orchestrate" {
+        run_orchestrate(&args);
         return;
     }
     let sim_with = |reps: u64| {
@@ -1042,7 +1319,7 @@ fn main() {
             host_parallelism()
         );
     }
-    print_table(&executor, &spec, range, sim, name_width, with_header);
+    print_table(&executor, &spec, range, sim, name_width, with_header, &args);
 
     let cache = executor.cache().stats();
     eprintln!(

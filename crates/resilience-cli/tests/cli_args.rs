@@ -52,13 +52,73 @@ fn shard_is_rejected_outside_sweep_commands() {
 }
 
 #[test]
-fn grid_size_is_rejected_outside_grid() {
+fn grid_size_is_rejected_outside_grid_and_orchestrate() {
     for command in ["sweep", "nodes", "mtbf", "recall", "bench", "serve"] {
         assert_dies(
             &[command, "--grid-size", "3"],
-            &["--grid-size", "grid", command],
+            &["--grid-size", "grid", "orchestrate", command],
         );
     }
+}
+
+#[test]
+fn orchestrate_flags_are_rejected_outside_orchestrate() {
+    for command in ["sweep", "nodes", "mtbf", "recall", "grid", "bench", "serve"] {
+        for flag in [
+            ["--workers", "4"],
+            ["--units", "8"],
+            ["--deadline-ms", "1000"],
+            ["--backoff-ms", "50"],
+            ["--max-respawns", "2"],
+            ["--fault-plan", "kill:0:1"],
+        ] {
+            assert_dies(
+                &[command, flag[0], flag[1]],
+                &[flag[0], "orchestrate", command],
+            );
+        }
+    }
+}
+
+#[test]
+fn trailer_applies_to_sweep_commands_only() {
+    // On orchestrate specifically, the rejection explains that the workers
+    // emit the trailer themselves — asking the coordinator for one is a
+    // misunderstanding worth correcting, not a silent no-op.
+    assert_dies(
+        &["orchestrate", "--trailer"],
+        &["--trailer", "workers", "emit"],
+    );
+    for command in ["bench", "serve"] {
+        assert_dies(&[command, "--trailer"], &["--trailer", command]);
+    }
+}
+
+#[test]
+fn orchestrate_rejects_simulation_and_thread_flags_by_name() {
+    assert_dies(
+        &["orchestrate", "--engine", "simd"],
+        &["--engine", "analytic"],
+    );
+    assert_dies(&["orchestrate", "--reps", "5"], &["--reps", "analytic"]);
+    assert_dies(
+        &["orchestrate", "--threads", "2"],
+        &["--threads", "--workers"],
+    );
+}
+
+#[test]
+fn orchestrate_validates_its_numeric_flags() {
+    assert_dies(&["orchestrate", "--workers", "0"], &["--workers", "1"]);
+    assert_dies(&["orchestrate", "--units", "0"], &["--units", "1"]);
+    assert_dies(
+        &["orchestrate", "--deadline-ms", "0"],
+        &["--deadline-ms", "1"],
+    );
+    assert_dies(
+        &["orchestrate", "--fault-plan", "banana:0:1"],
+        &["--fault-plan", "banana"],
+    );
 }
 
 #[test]

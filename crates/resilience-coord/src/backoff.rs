@@ -1,0 +1,85 @@
+//! Deterministic retry backoff: exponential growth with seeded jitter.
+//!
+//! Every delay is a pure function of `(seed, unit, attempt)` — no ambient
+//! entropy, no wall clock — so a failing orchestration replays with
+//! identical retry timing under the same seed, and tests can pin exact
+//! schedules. Jitter still does its usual job (decorrelating retries of
+//! different units so they don't stampede the machine together) because
+//! different units hash to different points of the jitter band.
+
+use std::time::Duration;
+
+/// Growth cap: delays stop doubling after this many exponent steps, so a
+/// unit stuck in a long retry fight waits at most `base · 2⁵ · 1.5`.
+const MAX_EXPONENT: u32 = 5;
+
+/// SplitMix64 — the tiny, well-mixed generator the sim crate also uses for
+/// seeding. One round is plenty to decorrelate the jitter band.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// The delay before retry `attempt` (1-based) of `unit`: exponential in the
+/// attempt number, jittered into `[0.5, 1.5)` of the nominal value by a
+/// hash of `(seed, unit, attempt)`.
+pub fn retry_delay(seed: u64, unit: usize, attempt: u32, base: Duration) -> Duration {
+    let exponent = attempt.saturating_sub(1).min(MAX_EXPONENT);
+    let nominal = base.saturating_mul(1 << exponent);
+    let h = splitmix64(seed ^ (unit as u64).wrapping_mul(0x9e37_79b9) ^ u64::from(attempt) << 32);
+    // 0.5 + (h mod 2^20)/2^20 ∈ [0.5, 1.5): deterministic fractional jitter.
+    let jitter = 0.5 + (h & 0xf_ffff) as f64 / f64::from(1 << 20);
+    nominal.mul_f64(jitter)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delays_are_deterministic_for_a_seed() {
+        let base = Duration::from_millis(50);
+        for unit in 0..4 {
+            for attempt in 1..6 {
+                assert_eq!(
+                    retry_delay(7, unit, attempt, base),
+                    retry_delay(7, unit, attempt, base),
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn delays_grow_exponentially_within_the_jitter_band() {
+        let base = Duration::from_millis(100);
+        for attempt in 1..=6u32 {
+            let d = retry_delay(0xc0de, 3, attempt, base);
+            let nominal = base * (1 << (attempt - 1).min(MAX_EXPONENT));
+            assert!(d >= nominal / 2, "attempt {attempt}: {d:?} under band");
+            assert!(d < nominal * 3 / 2, "attempt {attempt}: {d:?} over band");
+        }
+    }
+
+    #[test]
+    fn different_units_jitter_differently() {
+        let base = Duration::from_millis(100);
+        let delays: Vec<Duration> = (0..16).map(|u| retry_delay(1, u, 1, base)).collect();
+        let distinct = delays.iter().filter(|&&d| d != delays[0]).count();
+        assert!(
+            distinct > 0,
+            "all 16 units drew identical jitter: {delays:?}"
+        );
+    }
+
+    #[test]
+    fn growth_caps_at_the_max_exponent() {
+        let base = Duration::from_millis(10);
+        let capped = retry_delay(9, 0, MAX_EXPONENT + 1, base);
+        let beyond = retry_delay(9, 0, MAX_EXPONENT + 7, base);
+        let ceiling = base * (1 << MAX_EXPONENT) * 3 / 2;
+        assert!(capped <= ceiling);
+        assert!(beyond <= ceiling);
+    }
+}

@@ -1,0 +1,251 @@
+//! Seeded fault injection: a reproducible plan of worker failures.
+//!
+//! The coordinator's failure handling is only trustworthy if every failure
+//! mode can be provoked on demand. A [`FaultPlan`] names which work units
+//! fail and how — `kill` (fail-stop: the worker aborts mid-output),
+//! `stall` (straggler: the worker freezes past its deadline), `corrupt`
+//! (silent error: one output bit flips *after* the checksum trailer
+//! accounted the clean bytes) — and the coordinator arms each fault by
+//! setting [`crate::FAULT_ENV`] on exactly the targeted spawn. By default
+//! a fault fires only on a unit's first spawn, so the retry succeeds and
+//! the run still merges clean bytes; a `!` suffix (`kill!:0:3`) re-arms it
+//! on every spawn, which is how the `max_respawns` → in-process fallback
+//! path is exercised.
+
+use crate::FAULT_ENV;
+
+/// One injected failure, as the worker process executes it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkerFault {
+    /// Abort the process (fail-stop) after writing `after_lines` lines.
+    Kill {
+        /// Stdout lines to write before dying.
+        after_lines: u64,
+    },
+    /// Sleep `ms` milliseconds before writing line `line` (0-based), so
+    /// heartbeats stop and the coordinator's deadline trips.
+    Stall {
+        /// 0-based stdout line before which the worker freezes.
+        line: u64,
+        /// How long the freeze lasts.
+        ms: u64,
+    },
+    /// Flip one bit of the first byte of line `line` (0-based) on the way
+    /// out — a silent error the checksum trailer does not cover.
+    Corrupt {
+        /// 0-based stdout line whose first byte is flipped.
+        line: u64,
+    },
+}
+
+impl WorkerFault {
+    /// The env-var fragment for this fault (`kill:K`, `stall:L:MS`,
+    /// `corrupt:L`).
+    fn encode(&self) -> String {
+        match self {
+            WorkerFault::Kill { after_lines } => format!("kill:{after_lines}"),
+            WorkerFault::Stall { line, ms } => format!("stall:{line}:{ms}"),
+            WorkerFault::Corrupt { line } => format!("corrupt:{line}"),
+        }
+    }
+
+    /// Parses one env-var fragment. Every rejection names the grammar.
+    fn decode(s: &str) -> Result<WorkerFault, String> {
+        let mut parts = s.split(':');
+        let kind = parts.next().unwrap_or("");
+        let mut num = |what: &str| -> Result<u64, String> {
+            let field = parts
+                .next()
+                .ok_or_else(|| format!("{FAULT_ENV}: {kind} is missing its {what} in \"{s}\""))?;
+            field
+                .parse::<u64>()
+                .map_err(|_| format!("{FAULT_ENV}: {what} must be an integer, got \"{field}\""))
+        };
+        let fault = match kind {
+            "kill" => WorkerFault::Kill {
+                after_lines: num("line count")?,
+            },
+            "stall" => WorkerFault::Stall {
+                line: num("line")?,
+                ms: num("duration (ms)")?,
+            },
+            "corrupt" => WorkerFault::Corrupt { line: num("line")? },
+            other => {
+                return Err(format!(
+                    "{FAULT_ENV}: unknown fault \"{other}\" (expected kill, stall or corrupt)"
+                ))
+            }
+        };
+        match parts.next() {
+            Some(extra) => Err(format!(
+                "{FAULT_ENV}: trailing \":{extra}\" after \"{}\"",
+                fault.encode()
+            )),
+            None => Ok(fault),
+        }
+    }
+
+    /// Parses a full [`crate::FAULT_ENV`] value: `;`-joined fragments.
+    /// The worker side of the protocol; an empty value means no faults.
+    pub fn decode_env(value: &str) -> Result<Vec<WorkerFault>, String> {
+        value
+            .split(';')
+            .filter(|s| !s.is_empty())
+            .map(WorkerFault::decode)
+            .collect()
+    }
+}
+
+/// One planned failure: which unit, whether it re-arms on every spawn, and
+/// the fault itself.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct PlanEntry {
+    /// 0-based work-unit index within the orchestrated slice.
+    unit: usize,
+    /// `true` (the `!` suffix) re-arms the fault on every spawn of the
+    /// unit, including retries and speculative duplicates.
+    every_spawn: bool,
+    fault: WorkerFault,
+}
+
+/// A reproducible set of injected worker failures, parsed from
+/// `--fault-plan`. Grammar: `;`-joined entries, each `kill:U:K`,
+/// `stall:U:L:MS` or `corrupt:U:L` (`U` = 0-based unit index within the
+/// orchestrated slice), with an optional `!` after the keyword to re-arm
+/// on every spawn.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    entries: Vec<PlanEntry>,
+}
+
+impl FaultPlan {
+    /// Parses `--fault-plan`. The empty string is the empty plan.
+    pub fn parse(s: &str) -> Result<FaultPlan, String> {
+        let mut entries = Vec::new();
+        for raw in s.split(';').filter(|e| !e.is_empty()) {
+            let (kind, rest) = raw
+                .split_once(':')
+                .ok_or_else(|| format!("--fault-plan: expected KIND:UNIT:…, got \"{raw}\""))?;
+            let (kind, every_spawn) = match kind.strip_suffix('!') {
+                Some(base) => (base, true),
+                None => (kind, false),
+            };
+            let (unit_str, args) = rest.split_once(':').unwrap_or((rest, ""));
+            let unit: usize = unit_str.parse().map_err(|_| {
+                format!(
+                    "--fault-plan: unit index must be an integer, got \"{unit_str}\" in \"{raw}\""
+                )
+            })?;
+            // Re-use the worker-side grammar for the fault payload, then
+            // rewrite its error prefix to name the flag.
+            let fault = WorkerFault::decode(&format!("{kind}:{args}"))
+                .map_err(|e| e.replace(&format!("{FAULT_ENV}:"), "--fault-plan:"))?;
+            entries.push(PlanEntry {
+                unit,
+                every_spawn,
+                fault,
+            });
+        }
+        Ok(FaultPlan { entries })
+    }
+
+    /// `true` when no faults are planned.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// How many distinct faults target `unit`.
+    pub fn faults_for(&self, unit: usize) -> usize {
+        self.entries.iter().filter(|e| e.unit == unit).count()
+    }
+
+    /// The [`crate::FAULT_ENV`] value to arm on spawn number `spawn_seq`
+    /// (0-based, counting retries and speculative duplicates alike) of
+    /// `unit` — `None` when that spawn runs clean.
+    pub fn env_for(&self, unit: usize, spawn_seq: u32) -> Option<String> {
+        let armed: Vec<String> = self
+            .entries
+            .iter()
+            .filter(|e| e.unit == unit && (spawn_seq == 0 || e.every_spawn))
+            .map(|e| e.fault.encode())
+            .collect();
+        if armed.is_empty() {
+            None
+        } else {
+            Some(armed.join(";"))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_round_trips_through_the_worker_env() {
+        let plan = FaultPlan::parse("kill:1:40;stall:2:10:60000;corrupt:3:7").unwrap();
+        assert_eq!(plan.faults_for(0), 0);
+        assert_eq!(plan.faults_for(1), 1);
+        let env = plan.env_for(2, 0).unwrap();
+        assert_eq!(env, "stall:10:60000");
+        assert_eq!(
+            WorkerFault::decode_env(&env).unwrap(),
+            vec![WorkerFault::Stall {
+                line: 10,
+                ms: 60000
+            }]
+        );
+        assert_eq!(
+            WorkerFault::decode_env(&plan.env_for(1, 0).unwrap()).unwrap(),
+            vec![WorkerFault::Kill { after_lines: 40 }]
+        );
+    }
+
+    #[test]
+    fn faults_arm_only_the_first_spawn_unless_rearmed() {
+        let plan = FaultPlan::parse("kill:0:3;corrupt!:1:2").unwrap();
+        assert!(plan.env_for(0, 0).is_some());
+        assert!(plan.env_for(0, 1).is_none());
+        assert!(plan.env_for(1, 0).is_some());
+        assert!(plan.env_for(1, 5).is_some());
+        assert!(plan.env_for(2, 0).is_none());
+    }
+
+    #[test]
+    fn multiple_faults_on_one_unit_join_with_semicolons() {
+        let plan = FaultPlan::parse("stall:4:1:50;corrupt:4:2").unwrap();
+        assert_eq!(plan.env_for(4, 0).as_deref(), Some("stall:1:50;corrupt:2"));
+        assert_eq!(
+            WorkerFault::decode_env("stall:1:50;corrupt:2")
+                .unwrap()
+                .len(),
+            2
+        );
+    }
+
+    #[test]
+    fn rejections_name_the_offending_field() {
+        for (input, needle) in [
+            ("boom:0:1", "unknown fault"),
+            ("kill:x:1", "unit index"),
+            ("kill:0", "line count"),
+            ("stall:0:5", "duration"),
+            ("corrupt:0:1:2", "trailing"),
+            ("kill", "expected KIND:UNIT"),
+        ] {
+            let err = FaultPlan::parse(input).unwrap_err();
+            assert!(err.contains(needle), "{input}: {err}");
+            assert!(err.contains("--fault-plan"), "{input}: {err}");
+        }
+        let err = WorkerFault::decode_env("stall:1").unwrap_err();
+        assert!(err.contains(FAULT_ENV), "{err}");
+    }
+
+    #[test]
+    fn empty_plan_is_legal_and_inert() {
+        let plan = FaultPlan::parse("").unwrap();
+        assert!(plan.is_empty());
+        assert!(plan.env_for(0, 0).is_none());
+        assert!(WorkerFault::decode_env("").unwrap().is_empty());
+    }
+}

@@ -1,0 +1,235 @@
+//! The worker side of the coordination protocol: checksum/count trailer
+//! accounting and the fault-injection write stack.
+//!
+//! A sweep worker layers its stdout as
+//! `table renderer → TrailerWriter → FaultInjector → BufWriter → stdout`.
+//! The order is the contract: [`TrailerWriter`] digests the bytes the
+//! worker *intended* to write, and [`FaultInjector`] tampers *after* the
+//! digest — so an injected corruption reaches the coordinator with a clean
+//! trailer attached, exactly the shape of a real silent error, and the
+//! coordinator's recomputed digest catches it.
+
+use crate::plan::WorkerFault;
+use stats::Fnv64;
+use std::io::{self, Write};
+use std::thread;
+use std::time::Duration;
+
+/// Pass-through writer that digests and counts everything written, and
+/// fires a progress callback every `progress_every` completed lines — the
+/// worker's heartbeat hook.
+pub struct TrailerWriter<W, F> {
+    inner: W,
+    fnv: Fnv64,
+    lines: u64,
+    bytes: u64,
+    progress_every: u64,
+    on_progress: F,
+}
+
+impl<W: Write, F: FnMut(u64)> TrailerWriter<W, F> {
+    /// Wraps `inner`. `on_progress(lines_so_far)` fires every
+    /// `progress_every` completed lines (`0` disables the heartbeat).
+    pub fn new(inner: W, progress_every: u64, on_progress: F) -> Self {
+        Self {
+            inner,
+            fnv: Fnv64::new(),
+            lines: 0,
+            bytes: 0,
+            progress_every,
+            on_progress,
+        }
+    }
+
+    /// Flushes and returns `(inner, digest, lines, bytes)` — the trailer
+    /// fields for everything written through this wrapper.
+    pub fn finish(mut self) -> io::Result<(W, u64, u64, u64)> {
+        self.inner.flush()?;
+        Ok((self.inner, self.fnv.digest(), self.lines, self.bytes))
+    }
+}
+
+impl<W: Write, F: FnMut(u64)> Write for TrailerWriter<W, F> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        // Account first, forward second: a fault below this layer (kill,
+        // corrupt) must not perturb the digest of the intended bytes.
+        self.fnv.update(buf);
+        self.bytes += buf.len() as u64;
+        for &b in buf {
+            if b == b'\n' {
+                self.lines += 1;
+                if self.progress_every > 0 && self.lines.is_multiple_of(self.progress_every) {
+                    (self.on_progress)(self.lines);
+                }
+            }
+        }
+        self.inner.write_all(buf)?;
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+/// Pass-through writer that executes [`WorkerFault`]s at their planned
+/// stdout line: abrupt process death (`kill`), a mid-output freeze
+/// (`stall`), or a single flipped bit (`corrupt`). Inert when the fault
+/// list is empty.
+pub struct FaultInjector<W> {
+    inner: W,
+    faults: Vec<(WorkerFault, bool)>,
+    /// 0-based index of the line the next byte belongs to.
+    line: u64,
+    at_line_start: bool,
+    corrupt_pending: bool,
+}
+
+impl<W: Write> FaultInjector<W> {
+    /// Wraps `inner`, arming `faults`.
+    pub fn new(inner: W, faults: Vec<WorkerFault>) -> Self {
+        Self {
+            inner,
+            faults: faults.into_iter().map(|f| (f, false)).collect(),
+            line: 0,
+            at_line_start: true,
+            corrupt_pending: false,
+        }
+    }
+
+    /// Unwraps the inner writer (tests).
+    pub fn into_inner(self) -> W {
+        self.inner
+    }
+
+    /// Fires any fault scheduled for the start of the current line.
+    fn line_start_faults(&mut self) {
+        for (fault, fired) in &mut self.faults {
+            if *fired {
+                continue;
+            }
+            match *fault {
+                WorkerFault::Kill { after_lines } if self.line >= after_lines => {
+                    // Fail-stop: die abruptly, mid-stream, without
+                    // flushing — the coordinator sees a dead worker and a
+                    // truncated shard, like a machine crash.
+                    std::process::abort();
+                }
+                WorkerFault::Stall { line, ms } if self.line >= line => {
+                    *fired = true;
+                    thread::sleep(Duration::from_millis(ms));
+                }
+                WorkerFault::Corrupt { line } if self.line >= line => {
+                    *fired = true;
+                    self.corrupt_pending = true;
+                }
+                _ => {}
+            }
+        }
+    }
+
+    fn forward(&mut self, chunk: &[u8]) -> io::Result<()> {
+        if self.corrupt_pending && !chunk.is_empty() {
+            self.corrupt_pending = false;
+            let mut tampered = chunk.to_vec();
+            tampered[0] ^= 0x01;
+            return self.inner.write_all(&tampered);
+        }
+        self.inner.write_all(chunk)
+    }
+}
+
+impl<W: Write> Write for FaultInjector<W> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        let mut rest = buf;
+        while !rest.is_empty() {
+            if self.at_line_start {
+                self.line_start_faults();
+            }
+            match rest.iter().position(|&b| b == b'\n') {
+                Some(pos) => {
+                    let (chunk, tail) = rest.split_at(pos + 1);
+                    self.forward(chunk)?;
+                    self.line += 1;
+                    self.at_line_start = true;
+                    rest = tail;
+                }
+                None => {
+                    self.forward(rest)?;
+                    self.at_line_start = false;
+                    rest = &[];
+                }
+            }
+        }
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn render(lines: &[&str]) -> Vec<u8> {
+        lines
+            .iter()
+            .flat_map(|l| l.bytes().chain(std::iter::once(b'\n')))
+            .collect()
+    }
+
+    #[test]
+    fn trailer_accounts_digest_lines_and_bytes() {
+        let table = render(&["header", "row one", "row two"]);
+        let mut beats = Vec::new();
+        let mut tw = TrailerWriter::new(Vec::new(), 2, |n| beats.push(n));
+        tw.write_all(&table).unwrap();
+        let (out, fnv, lines, bytes) = tw.finish().unwrap();
+        assert_eq!(out, table);
+        assert_eq!(fnv, Fnv64::of(&table));
+        assert_eq!(lines, 3);
+        assert_eq!(bytes, table.len() as u64);
+        assert_eq!(beats, vec![2]);
+    }
+
+    #[test]
+    fn corruption_slips_past_the_trailer_but_not_reverification() {
+        // The full worker stack: digest above, tamper below.
+        let table = render(&["aaa", "bbb", "ccc"]);
+        let injector = FaultInjector::new(Vec::new(), vec![WorkerFault::Corrupt { line: 1 }]);
+        let mut tw = TrailerWriter::new(injector, 0, |_| {});
+        tw.write_all(&table).unwrap();
+        let (injector, fnv, _, _) = tw.finish().unwrap();
+        let received = injector.into_inner();
+        assert_ne!(received, table, "corruption did not land");
+        assert_eq!(received[4], b'b' ^ 0x01, "wrong byte flipped: {received:?}");
+        assert_eq!(fnv, Fnv64::of(&table), "trailer must digest intended bytes");
+        assert_ne!(
+            Fnv64::of(&received),
+            fnv,
+            "recomputed digest must catch the tampering"
+        );
+    }
+
+    #[test]
+    fn corruption_lands_even_when_bytes_dribble_in() {
+        let mut injector = FaultInjector::new(Vec::new(), vec![WorkerFault::Corrupt { line: 1 }]);
+        for b in render(&["xy", "zw"]) {
+            injector.write_all(&[b]).unwrap();
+        }
+        let tampered = format!("{}w", (b'z' ^ 1) as char);
+        assert_eq!(injector.into_inner(), render(&["xy", &tampered]));
+    }
+
+    #[test]
+    fn stall_fires_once_at_its_line() {
+        let started = std::time::Instant::now();
+        let mut injector =
+            FaultInjector::new(Vec::new(), vec![WorkerFault::Stall { line: 1, ms: 30 }]);
+        injector.write_all(&render(&["a", "b", "c"])).unwrap();
+        assert!(started.elapsed() >= Duration::from_millis(30));
+        assert_eq!(injector.into_inner(), render(&["a", "b", "c"]));
+    }
+}

@@ -19,8 +19,8 @@ use resilience::{first_order_overhead, grid_spec, reference_scenarios, Scenario,
 use resilience_service::batcher::DEFAULT_MIN_WINDOW_US;
 use resilience_service::protocol::{Query, Reply, Request, Response};
 use serde::{Deserialize, Serialize};
-use std::io::{BufRead, BufReader, Write};
-use std::net::TcpStream;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
 use std::process::exit;
 use std::thread;
 use std::time::Duration;
@@ -30,11 +30,18 @@ fn fail(msg: &str) -> ! {
     exit(1);
 }
 
+/// Default `--timeout-secs`: generous against slow CI runners, but hard —
+/// a wedged daemon fails the smoke with a named phase instead of hanging
+/// the job until the runner's global timeout reaps it.
+const DEFAULT_TIMEOUT_SECS: u64 = 60;
+
 struct Args {
     addr: String,
     threads: usize,
     requests: usize,
     shutdown: bool,
+    /// Hard deadline on every connect and read.
+    timeout: Duration,
 }
 
 fn parse_args() -> Args {
@@ -43,6 +50,7 @@ fn parse_args() -> Args {
         threads: 16,
         requests: 64,
         shutdown: false,
+        timeout: Duration::from_secs(DEFAULT_TIMEOUT_SECS),
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -62,6 +70,15 @@ fn parse_args() -> Args {
                     .parse()
                     .unwrap_or_else(|_| fail("--requests: not a number"))
             }
+            "--timeout-secs" => {
+                let secs: u64 = value("--timeout-secs")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--timeout-secs: not a number"));
+                if secs == 0 {
+                    fail("--timeout-secs must be at least 1 (the deadline exists so hangs become errors)");
+                }
+                args.timeout = Duration::from_secs(secs);
+            }
             "--shutdown" => args.shutdown = true,
             other => fail(&format!("unknown flag {other}")),
         }
@@ -70,6 +87,45 @@ fn parse_args() -> Args {
         fail("--addr HOST:PORT is required");
     }
     args
+}
+
+/// Whether an I/O error is the read deadline expiring (both kinds, since
+/// platforms disagree on which one a timed-out socket read reports).
+fn is_deadline(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    )
+}
+
+/// Names an I/O failure while `waiting_for` something, turning a deadline
+/// expiry into a diagnosable message instead of a CI hang.
+fn named_io_error(phase: &str, waiting_for: &str, timeout: Duration, e: &io::Error) -> String {
+    if is_deadline(e) {
+        format!(
+            "{phase}: deadline of {timeout:?} expired waiting for {waiting_for} — \
+             the daemon accepted the connection but never answered \
+             (wedged batcher or dead connection handler?)"
+        )
+    } else {
+        format!("{phase}: while waiting for {waiting_for}: {e}")
+    }
+}
+
+/// Connects with the hard deadline applied to the connect itself and to
+/// every subsequent read on the stream.
+fn connect_with_deadline(addr: &str, timeout: Duration, phase: &str) -> Result<TcpStream, String> {
+    let sock = addr
+        .to_socket_addrs()
+        .map_err(|e| format!("{phase}: resolve {addr}: {e}"))?
+        .next()
+        .ok_or_else(|| format!("{phase}: {addr} resolves to no address"))?;
+    let stream = TcpStream::connect_timeout(&sock, timeout)
+        .map_err(|e| named_io_error(phase, &format!("a connection to {addr}"), timeout, &e))?;
+    stream
+        .set_read_timeout(Some(timeout))
+        .map_err(|e| format!("{phase}: set read deadline: {e}"))?;
+    Ok(stream)
 }
 
 /// The deterministic mixed query at position `i` of thread `t`, plus the
@@ -125,8 +181,10 @@ fn run_burst_thread(
     scenarios: &[Scenario],
     t: usize,
     requests: usize,
+    timeout: Duration,
 ) -> Result<u64, String> {
-    let stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    let phase = format!("burst thread {t}");
+    let stream = connect_with_deadline(addr, timeout, &phase)?;
     let mut writer = stream
         .try_clone()
         .map_err(|e| format!("clone stream: {e}"))?;
@@ -153,8 +211,10 @@ fn run_burst_thread(
     for want in &expected {
         let line = got
             .next()
-            .ok_or_else(|| "connection closed before all responses arrived".to_owned())?
-            .map_err(|e| format!("read response: {e}"))?;
+            .ok_or_else(|| format!("{phase}: connection closed before all responses arrived"))?
+            .map_err(|e| {
+                named_io_error(&phase, &format!("response id {}", want.id), timeout, &e)
+            })?;
         let want_line = want.to_json_string();
         if line != want_line {
             return Err(format!(
@@ -167,17 +227,20 @@ fn run_burst_thread(
     Ok(verified)
 }
 
-/// A single-query control connection.
+/// A single-query control connection. `phase` names what the smoke test is
+/// currently waiting on, so a deadline expiry reads as "window decay probe
+/// timed out" rather than a bare socket error.
 struct Control {
     writer: TcpStream,
     reader: BufReader<TcpStream>,
     next_id: u64,
+    timeout: Duration,
+    phase: &'static str,
 }
 
 impl Control {
-    fn connect(addr: &str) -> Self {
-        let stream = TcpStream::connect(addr)
-            .unwrap_or_else(|e| fail(&format!("control connect {addr}: {e}")));
+    fn connect(addr: &str, timeout: Duration, phase: &'static str) -> Self {
+        let stream = connect_with_deadline(addr, timeout, phase).unwrap_or_else(|msg| fail(&msg));
         let reader = BufReader::new(
             stream
                 .try_clone()
@@ -187,6 +250,8 @@ impl Control {
             writer: stream,
             reader,
             next_id: 900_000_000,
+            timeout,
+            phase,
         }
     }
 
@@ -200,12 +265,20 @@ impl Control {
         self.writer
             .write_all(format!("{line}\n").as_bytes())
             .and_then(|()| self.writer.flush())
-            .unwrap_or_else(|e| fail(&format!("control write: {e}")));
+            .unwrap_or_else(|e| fail(&format!("{}: control write: {e}", self.phase)));
         let mut buf = String::new();
         match self.reader.read_line(&mut buf) {
-            Ok(0) => fail("control connection closed mid-query"),
+            Ok(0) => fail(&format!(
+                "{}: control connection closed mid-query",
+                self.phase
+            )),
             Ok(_) => {}
-            Err(e) => fail(&format!("control read: {e}")),
+            Err(e) => fail(&named_io_error(
+                self.phase,
+                "the control response",
+                self.timeout,
+                &e,
+            )),
         }
         Response::from_json_str(buf.trim_end())
             .unwrap_or_else(|e| fail(&format!("control response did not parse: {e}")))
@@ -235,7 +308,9 @@ fn main() {
                 .map(|t| {
                     let addr = &args.addr;
                     let scenarios = &scenarios;
-                    scope.spawn(move || run_burst_thread(addr, scenarios, t, args.requests))
+                    scope.spawn(move || {
+                        run_burst_thread(addr, scenarios, t, args.requests, args.timeout)
+                    })
                 })
                 .collect();
             handles
@@ -248,7 +323,7 @@ fn main() {
                 .sum()
         });
         total_verified += verified;
-        let stats = Control::connect(&args.addr).stats();
+        let stats = Control::connect(&args.addr, args.timeout, "coalesce check").stats();
         if stats.coalesced_batches >= 1 && stats.max_batch > 1 {
             coalesced = true;
             break;
@@ -263,7 +338,7 @@ fn main() {
     // Phase 2: quiesce and watch the adaptive window decay to its minimum.
     // Spaced single queries each close as singleton batches, halving the
     // window; the stats queries themselves are singletons too.
-    let mut control = Control::connect(&args.addr);
+    let mut control = Control::connect(&args.addr, args.timeout, "window decay probe");
     let s = &scenarios[0];
     let mut decayed = None;
     for _ in 0..24 {
@@ -288,6 +363,7 @@ fn main() {
 
     // Phase 3: optional clean shutdown.
     if args.shutdown {
+        control.phase = "shutdown";
         let ack = control.roundtrip(Query::Shutdown);
         if ack.outcome != Ok(Reply::ShuttingDown) {
             fail(&format!("shutdown not acknowledged: {ack:?}"));

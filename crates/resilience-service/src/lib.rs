@@ -25,8 +25,8 @@ pub mod protocol;
 pub mod server;
 
 pub use batcher::{BatchConfig, Batcher};
-pub use protocol::{Query, Reply, Request, Response, ServiceStats};
-pub use server::{run_connection, serve_pipe, Server};
+pub use protocol::{Query, Reply, Request, Response, ServiceStats, ShardTrailer, WorkerEvent};
+pub use server::{run_connection, run_connection_unblockable, serve_pipe, Server};
 
 use std::io;
 use std::sync::Arc;

@@ -131,6 +131,105 @@ pub struct ServiceStats {
     pub cache_misses: u64,
 }
 
+/// A sweep worker's per-shard checksum/count trailer: what the worker
+/// *intended* to write on stdout. The coordinator recomputes the same
+/// digest over the bytes it actually received; any mismatch means the
+/// shard was silently corrupted in flight and must be re-executed, not
+/// merged. Also printed by `--trailer` for humans concatenating shards by
+/// hand.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardTrailer {
+    /// The worker's `I/N` slice label.
+    pub shard: String,
+    /// Result cells rendered (excludes the header lines shard 0 prints).
+    pub cells: u64,
+    /// Total stdout lines, header included.
+    pub lines: u64,
+    /// Total stdout bytes.
+    pub bytes: u64,
+    /// FNV-1a 64 digest of the stdout bytes ([`stats::Fnv64`]).
+    pub fnv64: u64,
+}
+
+/// One line of a sweep worker's stderr event stream: line-delimited JSON in
+/// the same `event`-tagged style as the service's `kind`-tagged queries.
+/// `progress` lines are the coordinator's heartbeat (a worker that stops
+/// emitting them past its deadline is a straggler); the final `trailer`
+/// line carries the [`ShardTrailer`] the coordinator verifies against.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WorkerEvent {
+    /// Heartbeat: the worker has written `lines` stdout lines so far.
+    Progress {
+        /// Stdout lines written when the heartbeat fired.
+        lines: u64,
+    },
+    /// Final per-shard verification trailer.
+    Trailer(ShardTrailer),
+}
+
+impl Serialize for ShardTrailer {
+    fn to_json(&self) -> Value {
+        Value::obj(vec![
+            ("shard", self.shard.to_json()),
+            ("cells", self.cells.to_json()),
+            ("lines", self.lines.to_json()),
+            ("bytes", self.bytes.to_json()),
+            // Hex, for eyeballing; the paired digest in a diff lines up
+            // column-for-column.
+            ("fnv64", format!("{:#018x}", self.fnv64).to_json()),
+        ])
+    }
+}
+
+impl Deserialize for ShardTrailer {
+    fn from_json(v: &Value) -> Result<Self, JsonError> {
+        let hex: String = v.read("fnv64")?;
+        let digits = hex.strip_prefix("0x").unwrap_or(&hex);
+        let fnv64 = u64::from_str_radix(digits, 16)
+            .map_err(|_| JsonError::new(format!("fnv64: expected a hex digest, got \"{hex}\"")))?;
+        Ok(Self {
+            shard: v.read("shard")?,
+            cells: v.read("cells")?,
+            lines: v.read("lines")?,
+            bytes: v.read("bytes")?,
+            fnv64,
+        })
+    }
+}
+
+impl Serialize for WorkerEvent {
+    fn to_json(&self) -> Value {
+        match self {
+            WorkerEvent::Progress { lines } => Value::obj(vec![
+                ("event", "progress".to_json()),
+                ("lines", lines.to_json()),
+            ]),
+            WorkerEvent::Trailer(t) => {
+                let Value::Obj(mut fields) = t.to_json() else {
+                    unreachable!("ShardTrailer serializes to an object");
+                };
+                fields.insert(0, ("event".to_owned(), "trailer".to_json()));
+                Value::Obj(fields)
+            }
+        }
+    }
+}
+
+impl Deserialize for WorkerEvent {
+    fn from_json(v: &Value) -> Result<Self, JsonError> {
+        let event: String = v.read("event")?;
+        match event.as_str() {
+            "progress" => Ok(WorkerEvent::Progress {
+                lines: v.read("lines")?,
+            }),
+            "trailer" => Ok(WorkerEvent::Trailer(ShardTrailer::from_json(v)?)),
+            other => Err(JsonError::new(format!(
+                "unknown worker event \"{other}\" (expected progress or trailer)"
+            ))),
+        }
+    }
+}
+
 impl Serialize for Request {
     fn to_json(&self) -> Value {
         Value::obj(vec![

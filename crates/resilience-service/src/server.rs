@@ -39,9 +39,38 @@ struct PendingResponse {
 /// `on_shutdown` is invoked (once) after the shutdown ack is flushed.
 pub fn run_connection<R, W>(
     reader: R,
+    writer: W,
+    batcher: &Batcher,
+    on_shutdown: &(dyn Fn() + Sync),
+) -> io::Result<()>
+where
+    R: BufRead + Send,
+    W: Write,
+{
+    run_connection_unblockable(reader, writer, batcher, on_shutdown, &|| {})
+}
+
+/// [`run_connection`] with an explicit `unblock` hook, invoked exactly
+/// when the writer abandons the connection because the client vanished
+/// mid-request (a response write failed). A client disconnect must only
+/// cost that client its connection:
+///
+/// * the response loop breaks instead of wedging, which drops the
+///   per-request reply channels — the batch worker's sends for this
+///   connection fall on the floor (it already tolerates dead receivers)
+///   instead of piling up behind a writer that can never drain them;
+/// * `unblock` then wakes the reader half (for TCP, by shutting the
+///   socket down) so it stops submitting work for a client that will
+///   never read the answers, and the connection scope can join.
+///
+/// The write error is still returned for observability; the accept loop
+/// treats it as that client's problem, not the daemon's.
+pub fn run_connection_unblockable<R, W>(
+    reader: R,
     mut writer: W,
     batcher: &Batcher,
     on_shutdown: &(dyn Fn() + Sync),
+    unblock: &(dyn Fn() + Sync),
 ) -> io::Result<()>
 where
     R: BufRead + Send,
@@ -63,9 +92,14 @@ where
                 id: pending.id,
                 outcome,
             };
-            writer.write_all(response.to_json_string().as_bytes())?;
-            writer.write_all(b"\n")?;
-            writer.flush()?;
+            let wrote = writer
+                .write_all(response.to_json_string().as_bytes())
+                .and_then(|()| writer.write_all(b"\n"))
+                .and_then(|()| writer.flush());
+            if let Err(e) = wrote {
+                unblock();
+                return Err(e);
+            }
             if pending.shutdown_after {
                 on_shutdown();
                 break;
@@ -212,9 +246,24 @@ fn accept_loop(
                 let Ok(read_half) = stream.try_clone() else {
                     return;
                 };
+                let Ok(unblock_half) = stream.try_clone() else {
+                    return;
+                };
                 let on_shutdown = move || trip_shutdown(&stop, addr);
+                // When the client vanishes mid-request, shut the socket
+                // down both ways so the reader half wakes from its
+                // blocking read instead of waiting on a dead peer.
+                let unblock = move || {
+                    let _ = unblock_half.shutdown(std::net::Shutdown::Both);
+                };
                 // Per-connection I/O errors only affect that client.
-                let _ = run_connection(BufReader::new(read_half), stream, &batcher, &on_shutdown);
+                let _ = run_connection_unblockable(
+                    BufReader::new(read_half),
+                    stream,
+                    &batcher,
+                    &on_shutdown,
+                    &unblock,
+                );
             });
         }
     });

@@ -3,10 +3,13 @@
 //! behaviour.
 
 use resilience::{first_order_overhead, grid_spec, reference_scenarios, Theorem};
-use resilience_service::{BatchConfig, Batcher, Query, Reply, Request, Response, Server};
+use resilience_service::{
+    run_connection_unblockable, BatchConfig, Batcher, Query, Reply, Request, Response, Server,
+};
 use serde::{Deserialize, Serialize};
-use std::io::{BufRead, BufReader, Write};
+use std::io::{self, BufRead, BufReader, Write};
 use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread;
 use std::time::Duration;
@@ -161,6 +164,122 @@ fn submitting_after_shutdown_errors_instead_of_hanging() {
     batcher.shutdown();
     let err = batcher.query(Query::Stats).expect_err("must error");
     assert!(err.contains("shutting down"), "{err}");
+}
+
+/// A writer whose first write fails, standing in for a TCP peer that hung
+/// up between submitting a request and reading the answer.
+struct FailingWriter;
+
+impl Write for FailingWriter {
+    fn write(&mut self, _buf: &[u8]) -> io::Result<usize> {
+        Err(io::Error::new(io::ErrorKind::BrokenPipe, "peer went away"))
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+#[test]
+fn response_write_failure_fires_unblock_and_leaves_batcher_usable() {
+    let batcher = Batcher::new(BatchConfig::default());
+    let s = &reference_scenarios()[0];
+    let request = Request {
+        id: 1,
+        query: Query::Optimum {
+            platform: s.platform,
+            costs: s.costs,
+            theorem: Theorem::One,
+        },
+    };
+    let unblocked = AtomicBool::new(false);
+    let result = run_connection_unblockable(
+        io::Cursor::new(format!("{}\n", request.to_json_string())),
+        FailingWriter,
+        &batcher,
+        &|| {},
+        &|| unblocked.store(true, Ordering::SeqCst),
+    );
+    let err = result.expect_err("a dead peer must surface as the write error");
+    assert_eq!(err.kind(), io::ErrorKind::BrokenPipe);
+    assert!(
+        unblocked.load(Ordering::SeqCst),
+        "unblock hook must fire so a blocked reader half can be woken"
+    );
+    // The batcher must still answer: the dropped connection took its reply
+    // channels with it, not the worker.
+    let reply = batcher
+        .query(Query::Optimum {
+            platform: s.platform,
+            costs: s.costs,
+            theorem: Theorem::One,
+        })
+        .expect("batcher survives a dead connection");
+    assert_eq!(
+        reply.to_json_string(),
+        Reply::Optimum(Theorem::One.optimize(&s.platform, &s.costs)).to_json_string()
+    );
+    batcher.shutdown();
+}
+
+#[test]
+fn client_disconnects_mid_request_do_not_wedge_the_daemon() {
+    let batcher = Arc::new(Batcher::new(BatchConfig::default()));
+    let server = Server::start(0, Arc::clone(&batcher)).expect("bind");
+    let addr = server.addr();
+    let scenarios = reference_scenarios();
+    let s = &scenarios[0];
+    let request = |id: u64| Request {
+        id,
+        query: Query::Optimum {
+            platform: s.platform,
+            costs: s.costs,
+            theorem: Theorem::Four,
+        },
+    };
+
+    // Disconnect 1: half a request line, then hang up. The daemon never
+    // even gets a full request out of this one.
+    {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        let full = request(50).to_json_string();
+        stream
+            .write_all(&full.as_bytes()[..full.len() / 2])
+            .expect("partial write");
+        stream.flush().expect("flush");
+    }
+
+    // Disconnect 2: pipeline a burst, read nothing, hang up. The batch
+    // worker resolves replies nobody will collect and the writer half hits
+    // the broken pipe; both must shrug it off.
+    {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        let mut payload = String::new();
+        for id in 60..76 {
+            payload.push_str(&request(id).to_json_string());
+            payload.push('\n');
+        }
+        stream.write_all(payload.as_bytes()).expect("burst write");
+        stream.flush().expect("flush");
+    }
+
+    // The daemon must still answer a well-behaved client, repeatedly, so
+    // give the aborted connections' handlers time to trip over the dead
+    // sockets first.
+    for round in 0..5 {
+        thread::sleep(Duration::from_millis(10));
+        let lines = tcp_roundtrip(addr, &[request(90 + round)]);
+        let want = Response {
+            id: 90 + round,
+            outcome: Ok(Reply::Optimum(
+                Theorem::Four.optimize(&s.platform, &s.costs),
+            )),
+        };
+        assert_eq!(lines, vec![want.to_json_string()], "round {round}");
+    }
+
+    server.stop();
+    batcher.shutdown();
 }
 
 /// Drives one TCP connection with pipelined requests and collects the

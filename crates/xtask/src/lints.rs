@@ -24,13 +24,17 @@ pub const DETERMINISM_CRATES: &[&str] = &["numerics", "stats", "resilience", "si
 /// centralized (and byte-identical to serial). The service crate's batch
 /// worker, connection handlers, and smoke client are the deliberate
 /// exception: they live outside the determinism-pinned set and delegate
-/// all numeric work to it.
+/// all numeric work to it. The coordinator's supervisor is the other:
+/// its attempt threads only pump worker pipes into an event channel, and
+/// every timing decision it makes is erased by checksum-verified, in-order
+/// merging before bytes reach the output.
 pub const THREAD_ALLOWLIST: &[&str] = &[
     "crates/sim/src/executor.rs",
     "crates/sim/src/runner.rs",
     "crates/resilience-service/src/batcher.rs",
     "crates/resilience-service/src/server.rs",
     "crates/resilience-service/src/bin/service-client.rs",
+    "crates/resilience-coord/src/supervisor.rs",
 ];
 
 /// Required crate-root attributes: `(crate, root file, attribute)`.
@@ -72,6 +76,11 @@ pub const REQUIRED_CRATE_ATTRS: &[(&str, &str, &str)] = &[
     (
         "resilience-service",
         "crates/resilience-service/src/lib.rs",
+        "#![forbid(unsafe_code)]",
+    ),
+    (
+        "resilience-coord",
+        "crates/resilience-coord/src/lib.rs",
         "#![forbid(unsafe_code)]",
     ),
 ];

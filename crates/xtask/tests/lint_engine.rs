@@ -157,6 +157,36 @@ fn thread_spawn_elsewhere_in_the_service_crate_is_still_rejected() {
 }
 
 #[test]
+fn thread_spawn_is_allowed_in_the_coordinator_supervisor_only() {
+    // The coordinator's exemption is confined to the supervisor (the
+    // attempt threads that pump worker pipes); the fault plan, backoff,
+    // and writer-stack modules stay single-threaded.
+    let findings = lint_fixture(
+        "crates/resilience-coord/src/supervisor.rs",
+        include_str!("fixtures/fail/thread_spawn.rs"),
+    );
+    assert!(findings.is_empty(), "{findings:#?}");
+    expect_single(
+        "crates/resilience-coord/src/plan.rs",
+        include_str!("fixtures/fail/thread_spawn.rs"),
+        Lint::ThreadSpawn,
+        2,
+    );
+}
+
+#[test]
+fn wall_clock_reads_are_fine_in_the_coordinator() {
+    // Deadlines, backoff, and straggler detection need real elapsed time;
+    // the coordinator sits outside the determinism-pinned set because its
+    // merge discards all timing effects before bytes reach the output.
+    let findings = lint_fixture(
+        "crates/resilience-coord/src/backoff.rs",
+        include_str!("fixtures/fail/wall_clock.rs"),
+    );
+    assert!(findings.is_empty(), "{findings:#?}");
+}
+
+#[test]
 fn wall_clock_reads_are_fine_in_the_service_crate() {
     // The batching window needs real elapsed time; the service crate is
     // deliberately outside the determinism-pinned set.
