@@ -8,6 +8,7 @@
 //!                [--bench-out PATH] [--guard] [--sweep-only] [--port P]
 //!                [--workers W] [--units U] [--deadline-ms D]
 //!                [--backoff-ms B] [--max-respawns R] [--fault-plan PLAN]
+//!                [--cache-in FILE] [--cache-out FILE] [--optimum-server ADDR]
 //! ```
 //!
 //! * `sweep`  — the three reference scenarios × Theorems 1–4 (default);
@@ -43,6 +44,15 @@
 //! Each flag belongs to specific subcommands; giving one where it cannot
 //! apply is an error naming the flag, never a silent no-op.
 //!
+//! The optimum store is a shareable artifact: `--cache-out FILE` snapshots
+//! a sweep's memoized optima (sorted, FNV-64-sealed, bit-exact keys) and
+//! `--cache-in FILE` seeds a later sweep from one — same bytes out, zero
+//! derivations for covered keys. `orchestrate` pre-warms automatically:
+//! it derives the slice's distinct optima once, snapshots them, and hands
+//! the file to every worker spawn through the fault-plan env channel.
+//! `--optimum-server ADDR` instead resolves misses live against a running
+//! `serve --port` daemon, one pipelined burst per sweep block.
+//!
 //! Every sweep command expands a `SweepSpec` and shards its cells over
 //! `--threads` workers; results stream back in deterministic cell order, so
 //! output at a fixed seed is byte-identical to the serial loop. `--shard
@@ -62,18 +72,24 @@
 #![forbid(unsafe_code)]
 
 use resilience::{
-    grid_spec, reference_scenarios, validation_scenarios, CostModel, Platform, Scenario, SweepSpec,
-    Theorem, GRID_AXIS_LEN,
+    grid_spec, parse_snapshot, reference_scenarios, snapshot_string, theorem4_batch,
+    validation_scenarios, CostModel, OptimumCache, OptimumKey, PatternOptimum, Platform, Scenario,
+    SweepSpec, Theorem, GRID_AXIS_LEN,
 };
-use resilience_coord::{CoordConfig, FaultInjector, FaultPlan, TrailerWriter, WorkerFault};
+use resilience_coord::{
+    unit_range, CoordConfig, FallbackUnit, FaultInjector, FaultPlan, TrailerWriter, WorkerFault,
+};
 use resilience_service::protocol::{ShardTrailer, WorkerEvent};
+use resilience_service::OptimumClient;
 use serde::Serialize;
-use sim::executor::{CellResult, SimSettings, SweepExecutor};
+use sim::executor::{CellResult, OptimumResolver, SimSettings, SweepExecutor};
 use sim::runner::thread_cap;
 use sim::{Backend, SimdEngine};
 use stats::rates::YEAR;
 use stats::table::{Align, TableFormat};
+use std::collections::HashSet;
 use std::io::Write;
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 const DEFAULT_REPS: u64 = 4_000;
@@ -147,6 +163,17 @@ struct Args {
     /// `orchestrate --fault-plan PLAN`: injected worker faults
     /// (see `resilience-coord`'s plan grammar); empty = none.
     fault_plan: String,
+    /// Sweep commands: seed the optimum cache from a snapshot file before
+    /// sweeping (the coordinator sets the same thing per worker through
+    /// [`resilience_coord::CACHE_ENV`]; the flag wins when both appear).
+    cache_in: Option<String>,
+    /// Sweep commands: write the optimum cache as a snapshot file after
+    /// the sweep — the producer side of `--cache-in`.
+    cache_out: Option<String>,
+    /// Sweep commands: resolve cache misses through a running `serve
+    /// --port` daemon at this `HOST:PORT` instead of deriving locally —
+    /// the live-share worker mode.
+    optimum_server: Option<String>,
 }
 
 /// Orchestrate defaults, shared with the help text.
@@ -180,6 +207,9 @@ fn parse_args() -> Args {
         backoff_ms: DEFAULT_BACKOFF_MS,
         max_respawns: DEFAULT_MAX_RESPAWNS,
         fault_plan: String::new(),
+        cache_in: None,
+        cache_out: None,
+        optimum_server: None,
     };
     // Which flags actually appeared, so `validate` can reject any that do
     // not apply to the chosen subcommand (defaults never trip the check).
@@ -271,6 +301,18 @@ fn parse_args() -> Args {
                 seen.push("--fault-plan");
                 args.fault_plan = take_value(&argv, &mut i);
             }
+            "--cache-in" => {
+                seen.push("--cache-in");
+                args.cache_in = Some(take_value(&argv, &mut i));
+            }
+            "--cache-out" => {
+                seen.push("--cache-out");
+                args.cache_out = Some(take_value(&argv, &mut i));
+            }
+            "--optimum-server" => {
+                seen.push("--optimum-server");
+                args.optimum_server = Some(take_value(&argv, &mut i));
+            }
             "--help" | "-h" => {
                 // Through out(), not println!: `--help | head` must exit
                 // quietly instead of panicking on the closed pipe.
@@ -281,6 +323,7 @@ fn parse_args() -> Args {
                      \x20                     [--bench-out PATH] [--guard] [--sweep-only] [--port P]\n\
                      \x20                     [--workers W] [--units U] [--deadline-ms D]\n\
                      \x20                     [--backoff-ms B] [--max-respawns R] [--fault-plan PLAN]\n\
+                     \x20                     [--cache-in FILE] [--cache-out FILE] [--optimum-server ADDR]\n\
                      \n\
                      \x20 sweep    reference scenarios x theorems 1-4 (default)\n\
                      \x20 nodes    node-count sweep, theorem 4\n\
@@ -345,7 +388,16 @@ fn parse_args() -> Args {
                      \x20                degrades to in-process execution (default {DEFAULT_MAX_RESPAWNS})\n\
                      \x20 --fault-plan PLAN  orchestrate only: inject worker faults, ;-joined\n\
                      \x20                kill:U:K / stall:U:L:MS / corrupt:U:L entries (U = unit\n\
-                     \x20                index; ! after the keyword re-arms on every spawn)"
+                     \x20                index; ! after the keyword re-arms on every spawn)\n\
+                     \x20 --cache-in FILE  sweep commands: seed the optimum cache from a snapshot\n\
+                     \x20                file before sweeping — covered keys cost a hash lookup,\n\
+                     \x20                never a derivation, and output bytes are unchanged\n\
+                     \x20 --cache-out FILE  sweep commands: write the optimum cache as a snapshot\n\
+                     \x20                file (sorted, FNV-64-sealed, bit-exact keys) after the\n\
+                     \x20                sweep — what --cache-in and the coordinator consume\n\
+                     \x20 --optimum-server ADDR  sweep commands: resolve cache misses through a\n\
+                     \x20                running serve --port daemon at HOST:PORT (one pipelined\n\
+                     \x20                burst per sweep block) instead of deriving locally"
                 ));
                 std::process::exit(0);
             }
@@ -376,6 +428,17 @@ fn flag_misuse(command: &str, reps: Option<u64>, flag: &str) -> Option<String> {
         "--trailer" if !SWEEP_COMMANDS.contains(&command) => Some(format!(
             "--trailer applies to sweep commands, not {command} (orchestrate's workers \
              emit it themselves)"
+        )),
+        "--cache-in" | "--cache-out" if command == "orchestrate" => Some(format!(
+            "{flag} applies to sweep commands, not orchestrate (the coordinator derives \
+             the slice's optima once and pre-warms every worker itself)"
+        )),
+        "--cache-in" | "--cache-out" if !SWEEP_COMMANDS.contains(&command) => {
+            Some(format!("{flag} applies to sweep commands, not {command}"))
+        }
+        "--optimum-server" if !SWEEP_COMMANDS.contains(&command) => Some(format!(
+            "--optimum-server applies to sweep commands (the live-share worker side), \
+             not {command}"
         )),
         "--workers" | "--units" | "--deadline-ms" | "--backoff-ms" | "--max-respawns"
         | "--fault-plan"
@@ -702,12 +765,17 @@ fn print_table(
     };
     if args.trailer {
         let (i, n) = args.shard.unwrap_or((0, 1));
+        // The shard's own cache economics ride along with the checksum, so
+        // the coordinator can total hits/misses without re-parsing stderr.
+        let cache = executor.cache().stats();
         let trailer = ShardTrailer {
             shard: format!("{i}/{n}"),
             cells,
             lines,
             bytes,
             fnv64,
+            cache_hits: cache.hits,
+            cache_misses: cache.misses,
         };
         eprintln!("{}", WorkerEvent::Trailer(trailer).to_json_string());
     }
@@ -857,6 +925,100 @@ fn bench_sweeps(args: &Args) -> Vec<SweepBench> {
     sweeps
 }
 
+/// The warm-vs-cold shard measurement: the same 4-shard slice of the 10³
+/// grid swept serially with cold caches vs caches seeded from one
+/// full-grid snapshot (what `--cache-in` does per process).
+struct ShardBench {
+    shards: usize,
+    cells: usize,
+    cold_secs: f64,
+    warm_secs: f64,
+    cold_misses: u64,
+    warm_misses: u64,
+}
+
+impl ShardBench {
+    fn speedup(&self) -> f64 {
+        self.cold_secs / self.warm_secs
+    }
+}
+
+/// Measures [`ShardBench`]: each pass runs all shards serially, one fresh
+/// executor per shard (cold: empty cache; warm: seeded from the shared
+/// snapshot — seeding time is charged to the warm pass, because a real
+/// warmed shard pays it too). Misses are identical across passes; the
+/// timings take the best of [`BENCH_PASSES`].
+fn bench_warm_vs_cold() -> ShardBench {
+    let spec = grid_spec(GRID_SIM_MAX);
+    let entries = derive_slice_optima(&spec, 0..spec.len());
+    let shards = 4;
+    let pass = |warm: bool| -> (f64, u64) {
+        let mut misses = 0;
+        let start = std::time::Instant::now();
+        for shard in 0..shards {
+            let cache = Arc::new(OptimumCache::new());
+            if warm {
+                cache.seed(entries.iter().cloned());
+            }
+            let exec = SweepExecutor::with_cache(1, cache);
+            exec.run_streaming_range(&spec, unit_range(spec.len(), shard, shards), None, |r| {
+                std::hint::black_box(&r);
+            });
+            misses += exec.cache().stats().misses;
+        }
+        (start.elapsed().as_secs_f64().max(1e-9), misses)
+    };
+    let best = |warm: bool| {
+        (0..BENCH_PASSES)
+            .map(|_| pass(warm))
+            .fold((f64::INFINITY, 0), |(s, _), (secs, misses)| {
+                (s.min(secs), misses)
+            })
+    };
+    let (cold_secs, cold_misses) = best(false);
+    let (warm_secs, warm_misses) = best(true);
+    ShardBench {
+        shards,
+        cells: spec.len(),
+        cold_secs,
+        warm_secs,
+        cold_misses,
+        warm_misses,
+    }
+}
+
+/// JSON fragment for the `shard_warm_vs_cold` object.
+fn shard_json(s: &ShardBench) -> String {
+    format!(
+        "{{\n    \"grid\": \"grid-10^3\",\n    \"shards\": {},\n    \"cells\": {},\n    \"cold_seconds\": {:.6},\n    \"cold_cells_per_sec\": {:.0},\n    \"cold_misses\": {},\n    \"warm_seconds\": {:.6},\n    \"warm_cells_per_sec\": {:.0},\n    \"warm_misses\": {},\n    \"speedup_warm_over_cold\": {:.2}\n  }}",
+        s.shards,
+        s.cells,
+        s.cold_secs,
+        s.cells as f64 / s.cold_secs,
+        s.cold_misses,
+        s.warm_secs,
+        s.cells as f64 / s.warm_secs,
+        s.warm_misses,
+        s.speedup(),
+    )
+}
+
+/// Warm-shard guard: a warmed shard missing a covered key means the
+/// snapshot path silently stopped warming — a correctness regression in
+/// the shared store, not a timing matter, so it hard-fails regardless of
+/// how fast the run was.
+fn guard_warm_shards(shard: &ShardBench) -> bool {
+    if shard.warm_misses > 0 {
+        println!(
+            "::error title=warm shard regression::warmed shards derived {} optima that the \
+             snapshot already covered (must be 0)",
+            shard.warm_misses
+        );
+        return true;
+    }
+    false
+}
+
 /// JSON fragments for the `sweep_throughput` array, one per grid.
 fn sweep_json_entries(sweeps: &[SweepBench]) -> Vec<String> {
     sweeps
@@ -883,13 +1045,15 @@ fn sweep_json_entries(sweeps: &[SweepBench]) -> Vec<String> {
 /// guard floors) without paying for the engine matrix.
 fn run_sweep_bench_only(args: &Args) {
     let sweeps = bench_sweeps(args);
+    let shard = bench_warm_vs_cold();
     let json = format!(
-        "{{\n  \"benchmark\": \"analytic sweep throughput\",\n  \"seed\": {},\n  \"threads\": {},\n  \"available_parallelism\": {},\n  \"simd_supported\": {},\n  \"sweep_throughput\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"benchmark\": \"analytic sweep throughput\",\n  \"seed\": {},\n  \"threads\": {},\n  \"available_parallelism\": {},\n  \"simd_supported\": {},\n  \"sweep_throughput\": [\n{}\n  ],\n  \"shard_warm_vs_cold\": {}\n}}\n",
         args.seed,
         args.threads,
         host_parallelism(),
         SimdEngine::runtime_supported(),
         sweep_json_entries(&sweeps).join(",\n"),
+        shard_json(&shard),
     );
     if let Err(e) = std::fs::write(&args.bench_out, json) {
         die(&format!("cannot write {}: {e}", args.bench_out));
@@ -897,18 +1061,24 @@ fn run_sweep_bench_only(args: &Args) {
     let big = sweeps.last().expect("at least one sweep bench");
     eprintln!(
         "bench --sweep-only: analytic {}: {:.0} cells/s threaded ({:.2}x serial, {} workers); \
-         wrote {}",
+         warm shards {:.2}x cold ({} vs {} misses); wrote {}",
         big.label,
         big.threaded_cells_per_sec(),
         big.speedup(),
         big.workers_used,
+        shard.speedup(),
+        shard.warm_misses,
+        shard.cold_misses,
         args.bench_out
     );
     if args.guard {
-        if guard_sweep(big) {
+        if guard_sweep(big) | guard_warm_shards(&shard) {
             std::process::exit(1);
         }
-        eprintln!("bench guard: sweep floors held ({})", sweep_guard_note(big));
+        eprintln!(
+            "bench guard: sweep floors held ({}, warmed shards missed 0 covered keys)",
+            sweep_guard_note(big)
+        );
     }
 }
 
@@ -1038,13 +1208,14 @@ fn run_bench(args: &Args) {
     // serial vs threaded.
     let sweeps = bench_sweeps(args);
     let sweep_json = sweep_json_entries(&sweeps);
+    let shard = bench_warm_vs_cold();
 
     let engines_json: Vec<String> = headline
         .iter()
         .map(|&(b, secs)| engine_json(b, secs, reps, 4))
         .collect();
     let json = format!(
-        "{{\n  \"benchmark\": \"single-cell {} {} optimum\",\n  \"replications\": {reps},\n  \"seed\": {},\n  \"threads\": 1,\n  \"available_parallelism\": {},\n  \"simd_supported\": {},\n  \"engines\": [\n{}\n  ],\n  \"speedup_batch_over_event\": {batch_over_event:.2},\n  \"speedup_simd_over_batch\": {simd_over_batch:.2},\n  \"matrix\": [\n{}\n  ],\n  \"sweep_throughput\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"benchmark\": \"single-cell {} {} optimum\",\n  \"replications\": {reps},\n  \"seed\": {},\n  \"threads\": 1,\n  \"available_parallelism\": {},\n  \"simd_supported\": {},\n  \"engines\": [\n{}\n  ],\n  \"speedup_batch_over_event\": {batch_over_event:.2},\n  \"speedup_simd_over_batch\": {simd_over_batch:.2},\n  \"matrix\": [\n{}\n  ],\n  \"sweep_throughput\": [\n{}\n  ],\n  \"shard_warm_vs_cold\": {}\n}}\n",
         headline_scenario.name,
         Theorem::Four.label(),
         args.seed,
@@ -1053,6 +1224,7 @@ fn run_bench(args: &Args) {
         engines_json.join(",\n"),
         matrix_json.join(",\n"),
         sweep_json.join(",\n"),
+        shard_json(&shard),
     );
     if let Err(e) = std::fs::write(&args.bench_out, json) {
         die(&format!("cannot write {}: {e}", args.bench_out));
@@ -1061,16 +1233,17 @@ fn run_bench(args: &Args) {
     eprintln!(
         "bench: batch is {batch_over_event:.2}x event, simd {simd_over_batch:.2}x batch over \
          {reps} replications ({} engine-scenario matrix cells at {matrix_reps}); analytic \
-         {}: {:.0} cells/s threaded ({:.2}x serial); wrote {}",
+         {}: {:.0} cells/s threaded ({:.2}x serial); warm shards {:.2}x cold; wrote {}",
         BENCH_ENGINES.len() * scenarios.len(),
         big.label,
         big.threaded_cells_per_sec(),
         big.speedup(),
+        shard.speedup(),
         args.bench_out
     );
 
     if args.guard {
-        guard_speedups(batch_over_event, simd_over_batch, big);
+        guard_speedups(batch_over_event, simd_over_batch, big, &shard);
     }
 }
 
@@ -1078,7 +1251,12 @@ fn run_bench(args: &Args) {
 /// headline speedups or the million-cell analytic sweep throughput regress
 /// below the hard floors. The simd floor applies only where the AVX2 path
 /// can actually run; elsewhere the scalar fallback is informational.
-fn guard_speedups(batch_over_event: f64, simd_over_batch: f64, sweep: &SweepBench) {
+fn guard_speedups(
+    batch_over_event: f64,
+    simd_over_batch: f64,
+    sweep: &SweepBench,
+    shard: &ShardBench,
+) {
     let mut failed = false;
     if batch_over_event < MIN_BATCH_OVER_EVENT {
         println!(
@@ -1095,12 +1273,13 @@ fn guard_speedups(batch_over_event: f64, simd_over_batch: f64, sweep: &SweepBenc
         failed = true;
     }
     failed |= guard_sweep(sweep);
+    failed |= guard_warm_shards(shard);
     if failed {
         std::process::exit(1);
     }
     eprintln!(
         "bench guard: floors held (batch >= {MIN_BATCH_OVER_EVENT}x event, \
-         simd >= {MIN_SIMD_OVER_BATCH}x batch, {})",
+         simd >= {MIN_SIMD_OVER_BATCH}x batch, {}, warmed shards missed 0 covered keys)",
         sweep_guard_note(sweep)
     );
 }
@@ -1175,6 +1354,42 @@ fn sweep_guard_note(sweep: &SweepBench) -> String {
     )
 }
 
+/// Derives the distinct optima of one spec slice, each exactly once: keys
+/// dedupe through a set, the Theorem-4 survivors go through the 8-lane
+/// batch evaluator, the rest through their scalar closed forms. This is
+/// the coordinator's seeding pass — the whole point of pre-warming is
+/// that these derivations happen *here, once*, instead of once per
+/// worker spawn.
+fn derive_slice_optima(
+    spec: &SweepSpec,
+    range: std::ops::Range<usize>,
+) -> Vec<(OptimumKey, PatternOptimum)> {
+    let mut seen = HashSet::new();
+    let mut t4_keys = Vec::new();
+    let mut t4_cells = Vec::new();
+    let mut other = Vec::new();
+    for cell in spec.iter_range(range) {
+        let key = OptimumKey::new(&cell.platform, &cell.costs, cell.theorem);
+        if !seen.insert(key) {
+            continue;
+        }
+        if cell.theorem == Theorem::Four {
+            t4_keys.push(key);
+            t4_cells.push((cell.platform, cell.costs));
+        } else {
+            other.push((key, cell.platform, cell.costs, cell.theorem));
+        }
+    }
+    let mut entries: Vec<(OptimumKey, PatternOptimum)> =
+        t4_keys.into_iter().zip(theorem4_batch(&t4_cells)).collect();
+    entries.extend(
+        other
+            .into_iter()
+            .map(|(key, platform, costs, theorem)| (key, theorem.optimize(&platform, &costs))),
+    );
+    entries
+}
+
 /// `orchestrate`: the fault-tolerant sweep coordinator. Partitions the
 /// grid slice into sub-shard work units, dispatches each as a supervised
 /// `grid --shard J/M --trailer` worker subprocess of this same binary, and
@@ -1182,19 +1397,45 @@ fn sweep_guard_note(sweep: &SweepBench) -> String {
 /// to the serial unsharded run. Fail-stop deaths retry with seeded
 /// backoff, stragglers get speculative duplicates, silent corruption is
 /// caught by trailer verification and re-executed, and a unit that
-/// exhausts `--max-respawns` renders in-process instead. The counters
-/// land on stderr: one line-delimited JSON `summary` event (what the
-/// chaos tests assert on), then a human-readable recap.
+/// exhausts `--max-respawns` renders in-process instead.
+///
+/// Before dispatching, the coordinator derives the slice's distinct
+/// optima once ([`derive_slice_optima`]), snapshots them to a temp file,
+/// and hands the path to every worker spawn and respawn through
+/// [`resilience_coord::CACHE_ENV`] — so the slice's global miss total is
+/// the distinct-optima count, not distinct × units. The counters land on
+/// stderr: one line-delimited JSON `summary` event (what the chaos tests
+/// assert on), then a human-readable recap.
 fn run_orchestrate(args: &Args) {
     let plan = FaultPlan::parse(&args.fault_plan).unwrap_or_else(|e| die(&e));
     let program = std::env::current_exe()
         .unwrap_or_else(|e| die(&format!("orchestrate: cannot locate own binary: {e}")));
     let spec = grid_spec(args.grid_size);
+    let (slice_i, slice_n) = args.shard.unwrap_or((0, 1));
+
+    // Seeding pass: every derivation the slice will ever need, paid once.
+    let entries = derive_slice_optima(&spec, unit_range(spec.len(), slice_i, slice_n));
+    let seeded = entries.len() as u64;
+    let warm = Arc::new(OptimumCache::new());
+    warm.seed(entries);
+    let snapshot_path =
+        std::env::temp_dir().join(format!("resilience-optima-{}.snapshot", std::process::id()));
+    if let Err(e) = std::fs::write(&snapshot_path, snapshot_string(&warm)) {
+        die(&format!(
+            "orchestrate: cannot write warm-cache snapshot {}: {e}",
+            snapshot_path.display()
+        ));
+    }
+    eprintln!(
+        "orchestrate: pre-warmed {seeded} distinct optima into {}",
+        snapshot_path.display()
+    );
+
     let cfg = CoordConfig {
         program,
         grid_size: args.grid_size,
         cells: spec.len(),
-        slice: args.shard.unwrap_or((0, 1)),
+        slice: (slice_i, slice_n),
         units: args.units.unwrap_or(args.workers * 4).max(1),
         workers: args.workers,
         seed: args.seed,
@@ -1202,18 +1443,30 @@ fn run_orchestrate(args: &Args) {
         backoff_base: Duration::from_millis(args.backoff_ms),
         max_respawns: args.max_respawns,
         plan,
+        cache_snapshot: Some(snapshot_path.clone()),
+        seeded_optima: seeded,
     };
     // The in-process degradation path renders through the exact table
-    // pipeline the workers use, so fallback units merge byte-identically.
-    let executor = SweepExecutor::new(1);
+    // pipeline the workers use — and shares the warm cache, so fallback
+    // units merge byte-identically and report pure hits.
+    let executor = SweepExecutor::with_cache(1, Arc::clone(&warm));
     let mut fallback = |range: std::ops::Range<usize>, with_header: bool| {
+        let before = executor.cache().stats();
         let mut buf = Vec::new();
         render_table(&executor, &spec, range, None, 20, with_header, &mut buf)?;
-        Ok(buf)
+        let after = executor.cache().stats();
+        Ok(FallbackUnit {
+            bytes: buf,
+            cache_hits: after.hits - before.hits,
+            cache_misses: after.misses - before.misses,
+        })
     };
     let stdout = std::io::stdout();
     let mut w = std::io::BufWriter::with_capacity(1 << 16, stdout.lock());
-    let report = match resilience_coord::run(&cfg, &mut w, &mut fallback) {
+    let outcome = resilience_coord::run(&cfg, &mut w, &mut fallback);
+    // Best-effort: the snapshot is per-pid scratch, gone with the run.
+    let _ = std::fs::remove_file(&snapshot_path);
+    let report = match outcome {
         Ok(report) => report,
         // `orchestrate | head`: a closed merge pipe is a quiet exit, like
         // every other table command.
@@ -1224,7 +1477,8 @@ fn run_orchestrate(args: &Args) {
     eprintln!(
         "orchestrate: merged {} unit(s) / {} bytes via {} worker spawn(s): \
          {} fail-stop retries, {} verify failures, {} straggler reassignments, \
-         {} duplicates discarded, {} in-process fallbacks",
+         {} duplicates discarded, {} in-process fallbacks; optimum cache: \
+         {} hits, {} misses ({seeded} seeded)",
         report.units,
         report.merged_bytes,
         report.workers_spawned,
@@ -1233,6 +1487,8 @@ fn run_orchestrate(args: &Args) {
         report.straggler_reassignments,
         report.duplicates_discarded,
         report.inproc_fallbacks,
+        report.cache_hits,
+        report.cache_misses,
     );
 }
 
@@ -1306,7 +1562,42 @@ fn main() {
     } else {
         args.threads
     };
-    let executor = SweepExecutor::new(worker_threads);
+    let executor = match &args.optimum_server {
+        // Live share: cache misses batch-query the daemon (one pipelined
+        // burst per sweep block) instead of deriving locally. The client
+        // sits behind a mutex because the resolver must be `Sync`; worker
+        // threads resolve one block at a time anyway.
+        Some(addr) => {
+            let client = OptimumClient::connect(addr)
+                .unwrap_or_else(|e| die(&format!("--optimum-server {addr}: cannot connect: {e}")));
+            let client = Mutex::new(client);
+            let resolver: OptimumResolver = Arc::new(move |cells| {
+                client
+                    .lock()
+                    .unwrap_or_else(|poisoned| poisoned.into_inner())
+                    .optima(cells)
+                    .unwrap_or_else(|e| die(&e))
+            });
+            SweepExecutor::with_resolver(worker_threads, Arc::new(OptimumCache::new()), resolver)
+        }
+        None => SweepExecutor::new(worker_threads),
+    };
+    // Warm start: an explicit snapshot wins; otherwise the coordinator's
+    // per-spawn env channel. Seeding is silent in the output — covered
+    // keys just stop costing derivations (and count as hits).
+    let warm_source = args.cache_in.clone().or_else(|| {
+        std::env::var(resilience_coord::CACHE_ENV)
+            .ok()
+            .filter(|path| !path.is_empty())
+    });
+    if let Some(path) = &warm_source {
+        let doc = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| die(&format!("cannot read cache snapshot {path}: {e}")));
+        let entries = parse_snapshot(&doc).unwrap_or_else(|e| die(&format!("{path}: {e}")));
+        let warmed = entries.len();
+        executor.cache().seed(entries);
+        eprintln!("optimum cache: warmed with {warmed} entries from {path}");
+    }
     // Say what will actually run whenever it differs from the request, so
     // `--threads 8` over a 4-cell shard (or a 2-core host) doesn't silently
     // read as an 8-way measurement.
@@ -1321,6 +1612,16 @@ fn main() {
     }
     print_table(&executor, &spec, range, sim, name_width, with_header, &args);
 
+    if let Some(path) = &args.cache_out {
+        let doc = snapshot_string(executor.cache());
+        if let Err(e) = std::fs::write(path, doc) {
+            die(&format!("cannot write cache snapshot {path}: {e}"));
+        }
+        eprintln!(
+            "optimum cache: wrote {} entries to {path}",
+            executor.cache().len()
+        );
+    }
     let cache = executor.cache().stats();
     eprintln!(
         "optimum cache: {} hits, {} misses, {} entries over {} cells",

@@ -95,6 +95,55 @@ fn trailer_applies_to_sweep_commands_only() {
 }
 
 #[test]
+fn cache_snapshot_flags_are_rejected_outside_sweep_commands() {
+    // On orchestrate specifically, the rejection explains that the
+    // coordinator pre-warms its workers itself — handing it a snapshot is
+    // a misunderstanding worth correcting, not a silent no-op.
+    assert_dies(
+        &["orchestrate", "--cache-in", "warm.snap"],
+        &["--cache-in", "pre-warms"],
+    );
+    assert_dies(
+        &["orchestrate", "--cache-out", "warm.snap"],
+        &["--cache-out", "pre-warms"],
+    );
+    for command in ["bench", "serve"] {
+        assert_dies(
+            &[command, "--cache-in", "warm.snap"],
+            &["--cache-in", "sweep commands", command],
+        );
+        assert_dies(
+            &[command, "--cache-out", "warm.snap"],
+            &["--cache-out", "sweep commands", command],
+        );
+    }
+}
+
+#[test]
+fn optimum_server_is_rejected_outside_worker_contexts() {
+    for command in ["bench", "serve", "orchestrate"] {
+        assert_dies(
+            &[command, "--optimum-server", "127.0.0.1:9"],
+            &["--optimum-server", "sweep commands", command],
+        );
+    }
+}
+
+#[test]
+fn unreadable_cache_snapshots_die_by_path_and_reason() {
+    assert_dies(
+        &[
+            "grid",
+            "--grid-size",
+            "2",
+            "--cache-in",
+            "/no/such/file.snap",
+        ],
+        &["/no/such/file.snap", "cannot read cache snapshot"],
+    );
+}
+
+#[test]
 fn orchestrate_rejects_simulation_and_thread_flags_by_name() {
     assert_dies(
         &["orchestrate", "--engine", "simd"],

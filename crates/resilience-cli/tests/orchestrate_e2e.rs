@@ -15,12 +15,13 @@ use serde::Deserialize;
 use stats::Fnv64;
 use std::process::Command;
 
-/// Runs the CLI with `args`, scrubbing any inherited fault env, and returns
-/// `(stdout bytes, stderr text)`. Panics on nonzero exit.
+/// Runs the CLI with `args`, scrubbing any inherited fault and warm-cache
+/// env, and returns `(stdout bytes, stderr text)`. Panics on nonzero exit.
 fn run(args: &[&str]) -> (Vec<u8>, String) {
     let out = Command::new(env!("CARGO_BIN_EXE_resilience-cli"))
         .args(args)
         .env_remove(resilience_coord::FAULT_ENV)
+        .env_remove(resilience_coord::CACHE_ENV)
         .output()
         .expect("binary runs");
     let stderr = String::from_utf8_lossy(&out.stderr).into_owned();
@@ -37,9 +38,24 @@ fn summary_of(stderr: &str) -> CoordReport {
         .unwrap_or_else(|| panic!("no summary event on stderr:\n{stderr}"))
 }
 
+/// The miss count of a serial run's `optimum cache: H hits, M misses, ...`
+/// stderr recap — the slice's distinct-optima count, which is exactly
+/// what a pre-warmed orchestration must report as its global total (the
+/// seeding pass pays each distinct derivation once; the workers then hit).
+fn serial_misses(stderr: &str) -> u64 {
+    stderr
+        .lines()
+        .find_map(|line| {
+            let rest = line.strip_prefix("optimum cache: ")?;
+            let (_, tail) = rest.split_once(" hits, ")?;
+            tail.split_once(" misses")?.0.parse().ok()
+        })
+        .unwrap_or_else(|| panic!("no optimum-cache recap on stderr:\n{stderr}"))
+}
+
 #[test]
 fn fault_free_orchestration_is_byte_identical_with_zero_fault_counters() {
-    let (golden, _) = run(&["grid", "--grid-size", "4"]);
+    let (golden, golden_stderr) = run(&["grid", "--grid-size", "4"]);
     let (merged, stderr) = run(&[
         "orchestrate",
         "--grid-size",
@@ -59,11 +75,37 @@ fn fault_free_orchestration_is_byte_identical_with_zero_fault_counters() {
     assert_eq!(report.duplicates_discarded, 0, "{report:?}");
     assert_eq!(report.inproc_fallbacks, 0, "{report:?}");
     assert_eq!(report.merged_bytes, golden.len() as u64, "{report:?}");
+    // Pre-warm accounting: every cell is a hit in some worker, and the
+    // global miss total is the seeding pass's distinct-optima count —
+    // what the serial run reports as its misses — not distinct × units.
+    assert_eq!(report.cache_hits, 64, "{report:?}");
+    assert_eq!(
+        report.cache_misses,
+        serial_misses(&golden_stderr),
+        "{report:?}"
+    );
+}
+
+#[test]
+fn prewarmed_orchestration_reports_schedule_independent_cache_totals() {
+    // The acceptance grid: 10³ cells split across 4 workers. The 10-point
+    // node/MTBF/recall axes share platform-cost combinations, so the grid
+    // holds exactly 190 distinct (platform, costs, theorem) keys; a cold
+    // serial sweep misses each once, and a pre-warmed orchestration must
+    // miss *globally* exactly that often — the whole point of seeding.
+    let (golden, golden_stderr) = run(&["grid", "--grid-size", "10"]);
+    assert_eq!(serial_misses(&golden_stderr), 190);
+    let (merged, stderr) = run(&["orchestrate", "--grid-size", "10", "--workers", "4"]);
+    assert_eq!(merged, golden, "merged bytes differ from the serial run");
+    let report = summary_of(&stderr);
+    assert_eq!(report.cache_hits, 1000, "{report:?}");
+    assert_eq!(report.cache_misses, 190, "{report:?}");
+    assert_eq!(report.inproc_fallbacks, 0, "{report:?}");
 }
 
 #[test]
 fn orchestration_survives_kill_stall_and_corruption_byte_identically() {
-    let (golden, _) = run(&["grid", "--grid-size", "5"]);
+    let (golden, golden_stderr) = run(&["grid", "--grid-size", "5"]);
     // One fault per class, each on its own unit: a fail-stop kill mid-unit,
     // a stall long past the deadline (straggler → speculative twin), and a
     // silent single-byte corruption (caught by trailer re-verification).
@@ -91,11 +133,20 @@ fn orchestration_survives_kill_stall_and_corruption_byte_identically() {
     assert_eq!(report.duplicates_discarded, 1, "{report:?}");
     assert_eq!(report.inproc_fallbacks, 0, "{report:?}");
     assert_eq!(report.merged_bytes, golden.len() as u64, "{report:?}");
+    // Counters merge from *winning* attempts only, so the totals are
+    // schedule-independent even with retries, twins, and re-executions in
+    // flight: 5³ cells hit, distinct optima missed (once, in the seeder).
+    assert_eq!(report.cache_hits, 125, "{report:?}");
+    assert_eq!(
+        report.cache_misses,
+        serial_misses(&golden_stderr),
+        "{report:?}"
+    );
 }
 
 #[test]
 fn repeated_kills_degrade_to_in_process_execution_and_still_merge_clean() {
-    let (golden, _) = run(&["grid", "--grid-size", "3"]);
+    let (golden, golden_stderr) = run(&["grid", "--grid-size", "3"]);
     // `kill!` re-arms on every spawn, so unit 0 dies on the initial attempt
     // and again on the retry; retries(2) > max_respawns(1) abandons process
     // isolation and recomputes the unit in the coordinator itself.
@@ -120,6 +171,14 @@ fn repeated_kills_degrade_to_in_process_execution_and_still_merge_clean() {
     assert_eq!(report.inproc_fallbacks, 1, "{report:?}");
     assert_eq!(report.verify_failures, 0, "{report:?}");
     assert_eq!(report.merged_bytes, golden.len() as u64, "{report:?}");
+    // The in-process fallback shares the coordinator's warm cache, so its
+    // unit reports pure hits and the totals stay schedule-independent.
+    assert_eq!(report.cache_hits, 27, "{report:?}");
+    assert_eq!(
+        report.cache_misses,
+        serial_misses(&golden_stderr),
+        "{report:?}"
+    );
 }
 
 #[test]
@@ -138,4 +197,8 @@ fn standalone_trailer_matches_a_recomputed_digest_of_stdout() {
     let lines = stdout.iter().filter(|&&b| b == b'\n').count() as u64;
     assert_eq!(trailer.lines, lines, "{trailer:?}");
     assert_eq!(trailer.fnv64, Fnv64::of(&stdout), "{trailer:?}");
+    // The trailer's cache economics agree with the stderr recap: a cold
+    // shard accounts every cell as exactly one hit or one miss.
+    assert_eq!(trailer.cache_hits + trailer.cache_misses, 27, "{trailer:?}");
+    assert_eq!(trailer.cache_misses, serial_misses(&stderr), "{trailer:?}");
 }

@@ -47,7 +47,7 @@ pub mod worker;
 
 pub use backoff::retry_delay;
 pub use plan::{FaultPlan, WorkerFault};
-pub use supervisor::{run, CoordConfig, CoordReport};
+pub use supervisor::{run, CoordConfig, CoordReport, FallbackUnit};
 pub use worker::{FaultInjector, TrailerWriter};
 
 /// Environment variable carrying a worker's injected faults, set
@@ -57,6 +57,15 @@ pub use worker::{FaultInjector, TrailerWriter};
 /// milliseconds before writing line L), `corrupt:L` (flip one bit in
 /// line L after the checksum trailer accounted the clean bytes).
 pub const FAULT_ENV: &str = "RESILIENCE_FAULT";
+
+/// Environment variable carrying the path of a warm optimum-store snapshot,
+/// set by the coordinator on every worker spawn and respawn (the same
+/// per-spawn env channel as [`FAULT_ENV`]). A worker treats it exactly like
+/// `--cache-in PATH`: it seeds its executor cache from the snapshot before
+/// sweeping, so covered keys cost a hash lookup instead of a derivation and
+/// the orchestrated slice's global misses collapse to the distinct-optima
+/// count instead of distinct×units.
+pub const CACHE_ENV: &str = "RESILIENCE_CACHE_IN";
 
 /// The boundaries of global work unit `unit` of `total` over a `len`-cell
 /// sweep: the same near-equal contiguous slicing as the CLI's `--shard I/N`,

@@ -29,7 +29,7 @@
 
 use crate::backoff::retry_delay;
 use crate::plan::FaultPlan;
-use crate::{unit_range, FAULT_ENV};
+use crate::{unit_range, CACHE_ENV, FAULT_ENV};
 use resilience_service::protocol::{ShardTrailer, WorkerEvent};
 use serde::{Deserialize, JsonError, Serialize, Value};
 use stats::Fnv64;
@@ -72,6 +72,13 @@ pub struct CoordConfig {
     pub max_respawns: u32,
     /// Injected faults (empty in production).
     pub plan: FaultPlan,
+    /// Warm optimum-store snapshot handed to every worker spawn and
+    /// respawn via [`CACHE_ENV`]; `None` runs workers cold.
+    pub cache_snapshot: Option<PathBuf>,
+    /// Distinct optima the coordinator derived while writing
+    /// `cache_snapshot` — counted once into the merged miss total, since
+    /// the seeding pass is the one place those derivations now happen.
+    pub seeded_optima: u64,
 }
 
 /// What happened during one orchestrated run, in the paper's vocabulary:
@@ -98,6 +105,13 @@ pub struct CoordReport {
     pub inproc_fallbacks: u64,
     /// Bytes written to the merged output.
     pub merged_bytes: u64,
+    /// Optimum-cache hits summed over the *merged* attempts only (plus
+    /// fallback units), so the total is schedule-independent: retried and
+    /// discarded-duplicate attempts never count.
+    pub cache_hits: u64,
+    /// Optimum-cache misses, same accounting — with pre-warm this is the
+    /// seeding pass's distinct-optima count and nothing else.
+    pub cache_misses: u64,
 }
 
 impl Serialize for CoordReport {
@@ -115,6 +129,8 @@ impl Serialize for CoordReport {
             ("duplicates_discarded", self.duplicates_discarded.to_json()),
             ("inproc_fallbacks", self.inproc_fallbacks.to_json()),
             ("merged_bytes", self.merged_bytes.to_json()),
+            ("cache_hits", self.cache_hits.to_json()),
+            ("cache_misses", self.cache_misses.to_json()),
         ])
     }
 }
@@ -136,14 +152,36 @@ impl Deserialize for CoordReport {
             duplicates_discarded: v.read("duplicates_discarded")?,
             inproc_fallbacks: v.read("inproc_fallbacks")?,
             merged_bytes: v.read("merged_bytes")?,
+            cache_hits: v.read("cache_hits")?,
+            cache_misses: v.read("cache_misses")?,
         })
     }
+}
+
+/// One in-process fallback unit's product: the rendered bytes plus the
+/// cache hit/miss delta its rendering contributed, so fallback units keep
+/// the merged cache totals exact.
+#[derive(Debug, Clone, Default)]
+pub struct FallbackUnit {
+    /// The unit's table bytes, exactly as a verified worker would have
+    /// produced them.
+    pub bytes: Vec<u8>,
+    /// Optimum-cache hits this rendering performed.
+    pub cache_hits: u64,
+    /// Optimum-cache misses this rendering performed.
+    pub cache_misses: u64,
 }
 
 /// How one attempt ended, as classified by the attempt thread.
 enum Outcome {
     /// Clean exit, trailer present, digest/count re-verification passed.
-    Verified(Vec<u8>),
+    /// Carries the worker's cache counters off its trailer; they reach the
+    /// report only if this attempt wins the unit.
+    Verified {
+        bytes: Vec<u8>,
+        cache_hits: u64,
+        cache_misses: u64,
+    },
     /// The worker died: abnormal exit status (or it never spawned).
     FailStop(String),
     /// The worker claimed success but verification failed — the silent
@@ -217,13 +255,16 @@ struct Unit {
 pub fn run(
     cfg: &CoordConfig,
     out: &mut dyn Write,
-    fallback: &mut dyn FnMut(Range<usize>, bool) -> io::Result<Vec<u8>>,
+    fallback: &mut dyn FnMut(Range<usize>, bool) -> io::Result<FallbackUnit>,
 ) -> io::Result<CoordReport> {
     let total_units = cfg.slice.1 * cfg.units;
     let first = cfg.slice.0 * cfg.units;
     let start = Instant::now();
     let mut report = CoordReport {
         units: cfg.units as u64,
+        // The seeding pass's derivations are the run's baseline misses;
+        // pre-warmed workers contribute hits only.
+        cache_misses: cfg.seeded_optima,
         ..CoordReport::default()
     };
     let mut units: Vec<Unit> = (0..cfg.units)
@@ -346,7 +387,7 @@ fn finish_attempt(
     outcome: Outcome,
     result: &mut Option<Vec<u8>>,
     report: &mut CoordReport,
-    fallback: &mut dyn FnMut(Range<usize>, bool) -> io::Result<Vec<u8>>,
+    fallback: &mut dyn FnMut(Range<usize>, bool) -> io::Result<FallbackUnit>,
 ) -> io::Result<()> {
     unit.outstanding.retain(|a| a.id != attempt);
     if matches!(unit.state, UnitState::Done) {
@@ -354,11 +395,20 @@ fn finish_attempt(
         return Ok(());
     }
     match outcome {
-        Outcome::Verified(bytes) => {
+        Outcome::Verified {
+            bytes,
+            cache_hits,
+            cache_misses,
+        } => {
             for a in &unit.outstanding {
                 a.kill();
             }
             unit.state = UnitState::Done;
+            // Only the winning attempt's counters merge, so the totals are
+            // schedule-independent: each unit contributes exactly once no
+            // matter how many retries or duplicates ran.
+            report.cache_hits += cache_hits;
+            report.cache_misses += cache_misses;
             *result = Some(bytes);
         }
         failure @ (Outcome::FailStop(_) | Outcome::SilentError(_)) => {
@@ -370,7 +420,7 @@ fn finish_attempt(
             let (reason, silent) = match failure {
                 Outcome::SilentError(r) => (r, true),
                 Outcome::FailStop(r) => (r, false),
-                Outcome::Verified(_) => unreachable!("matched above"),
+                Outcome::Verified { .. } => unreachable!("matched above"),
             };
             unit.retries += 1;
             if silent {
@@ -385,7 +435,10 @@ fn finish_attempt(
                      (last: {reason}); degrading to in-process execution",
                     unit.retries
                 );
-                *result = Some(fallback(unit.range.clone(), unit.global == 0)?);
+                let rendered = fallback(unit.range.clone(), unit.global == 0)?;
+                report.cache_hits += rendered.cache_hits;
+                report.cache_misses += rendered.cache_misses;
+                *result = Some(rendered.bytes);
                 unit.state = UnitState::Done;
             } else {
                 let delay = retry_delay(cfg.seed, local, unit.retries, cfg.backoff_base);
@@ -430,6 +483,12 @@ fn spawn_attempt(
     match cfg.plan.env_for(local, unit.spawns) {
         Some(env) => cmd.env(FAULT_ENV, env),
         None => cmd.env_remove(FAULT_ENV),
+    };
+    // Pre-warm every spawn and respawn alike: a retried worker still
+    // starts from the shared store, never cold.
+    match &cfg.cache_snapshot {
+        Some(path) => cmd.env(CACHE_ENV, path),
+        None => cmd.env_remove(CACHE_ENV),
     };
     unit.spawns += 1;
     unit.state = UnitState::Running;
@@ -550,7 +609,11 @@ fn classify(
             t.fnv64
         ));
     }
-    Outcome::Verified(bytes.to_vec())
+    Outcome::Verified {
+        bytes: bytes.to_vec(),
+        cache_hits: t.cache_hits,
+        cache_misses: t.cache_misses,
+    }
 }
 
 #[cfg(test)]
@@ -575,12 +638,18 @@ mod tests {
             backoff_base: Duration::from_millis(1),
             max_respawns: 0,
             plan: FaultPlan::default(),
+            cache_snapshot: None,
+            seeded_optima: 7,
         };
         let mut out = Vec::new();
         let mut calls = Vec::new();
         let report = run(&cfg, &mut out, &mut |range, with_header| {
             calls.push((range.clone(), with_header));
-            Ok(format!("unit {:?} header={with_header}\n", range).into_bytes())
+            Ok(FallbackUnit {
+                bytes: format!("unit {:?} header={with_header}\n", range).into_bytes(),
+                cache_hits: range.len() as u64,
+                cache_misses: 0,
+            })
         })
         .expect("merge writer is a Vec");
         assert_eq!(report.inproc_fallbacks, 3);
@@ -588,6 +657,9 @@ mod tests {
         assert_eq!(report.units, 3);
         assert_eq!(report.verify_failures, 0);
         assert_eq!(report.straggler_reassignments, 0);
+        // Seeded derivations plus each fallback's delta, merged exactly once.
+        assert_eq!(report.cache_misses, 7);
+        assert_eq!(report.cache_hits, 9);
         // Units tile 0..9 and only the first carries the header.
         assert_eq!(calls, vec![(0..3, true), (3..6, false), (6..9, false)]);
         let text = String::from_utf8(out).expect("utf8");
@@ -609,9 +681,12 @@ mod tests {
             duplicates_discarded: 1,
             inproc_fallbacks: 0,
             merged_bytes: 12345,
+            cache_hits: 1000,
+            cache_misses: 190,
         };
         let line = report.to_json_string();
         assert!(line.contains("\"event\":\"summary\""), "{line}");
+        assert!(line.contains("\"cache_misses\":190"), "{line}");
         assert_eq!(CoordReport::from_json_str(&line).expect("parses"), report);
     }
 }

@@ -248,6 +248,9 @@ enum Slot {
     },
     /// Stats snapshot, taken after the batch's counters settle.
     Stats,
+    /// Optimum-store snapshot, rendered after the batch flushes so it
+    /// includes this very batch's freshly derived optima.
+    Snapshot,
 }
 
 fn process_batch(
@@ -307,6 +310,7 @@ fn process_batch(
                 },
                 Err(msg) => Slot::Done(Err(msg)),
             },
+            Query::OptimumSnapshot => Slot::Snapshot,
             Query::Stats => Slot::Stats,
             // The servers answer shutdown before it reaches the queue; a
             // direct in-process submit still gets a well-formed ack.
@@ -355,6 +359,7 @@ fn process_batch(
                 theorem,
                 optimum: local.get(&key),
             }),
+            Slot::Snapshot => Ok(Reply::OptimumSnapshot(resilience::snapshot_string(cache))),
             Slot::Stats => Ok(Reply::Stats(ServiceStats {
                 requests: ws.requests,
                 batches: ws.batches,

@@ -9,7 +9,9 @@
 //!   8-lane Theorem-4 evaluator, under an adaptive window that grows when
 //!   batches saturate and decays back to its minimum when traffic stops;
 //! * [`server`] — stdin/stdout pipe and TCP transports with per-connection
-//!   in-order responses and clean shutdown.
+//!   in-order responses and clean shutdown;
+//! * [`client`] — a blocking, pipelining TCP client: the worker side of
+//!   the `--optimum-server` live-share mode, plus snapshot fetch.
 //!
 //! Answers are byte-identical to direct library calls: the cache and the
 //! SIMD batch evaluator are pinned bit-identical to the scalar closed
@@ -21,10 +23,12 @@
 //! threads); everything numeric stays in the pinned crates it calls.
 
 pub mod batcher;
+pub mod client;
 pub mod protocol;
 pub mod server;
 
 pub use batcher::{BatchConfig, Batcher};
+pub use client::OptimumClient;
 pub use protocol::{Query, Reply, Request, Response, ServiceStats, ShardTrailer, WorkerEvent};
 pub use server::{run_connection, run_connection_unblockable, serve_pipe, Server};
 

@@ -83,6 +83,55 @@ impl OptimumKey {
             theorem,
         }
     }
+
+    /// The key's seven f64 bit patterns in declaration order (platform
+    /// rates, then cost fields, then recall) — the snapshot wire form.
+    /// Raw bits rather than floats so `-0.0`, subnormals and NaN payloads
+    /// survive any transport untouched.
+    pub fn to_bits(&self) -> [u64; 7] {
+        [
+            self.lambda_fail.0,
+            self.lambda_silent.0,
+            self.checkpoint.0,
+            self.recovery.0,
+            self.guaranteed_verif.0,
+            self.partial_verif.0,
+            self.recall.0,
+        ]
+    }
+
+    /// Rebuilds a key from its [`to_bits`](Self::to_bits) form. Inverse of
+    /// `to_bits` for every bit pattern, including ones the `Platform` /
+    /// `CostModel` constructors would reject — a snapshot key is an opaque
+    /// memo address, not a validated model input.
+    pub fn from_bits(bits: [u64; 7], theorem: Theorem) -> Self {
+        Self {
+            lambda_fail: F64Key(bits[0]),
+            lambda_silent: F64Key(bits[1]),
+            checkpoint: F64Key(bits[2]),
+            recovery: F64Key(bits[3]),
+            guaranteed_verif: F64Key(bits[4]),
+            partial_verif: F64Key(bits[5]),
+            recall: F64Key(bits[6]),
+            theorem,
+        }
+    }
+
+    /// The theorem component of the key.
+    pub fn theorem(&self) -> Theorem {
+        self.theorem
+    }
+
+    /// A total order over keys (bit patterns, then theorem position in
+    /// [`Theorem::ALL`]) — what makes snapshot listings deterministic no
+    /// matter the insert schedule or shard placement.
+    pub fn order_key(&self) -> ([u64; 7], usize) {
+        let theorem = Theorem::ALL
+            .into_iter()
+            .position(|t| t == self.theorem)
+            .unwrap_or(usize::MAX);
+        (self.to_bits(), theorem)
+    }
 }
 
 /// Multiplicative word-at-a-time hasher (the FxHash construction) for the
@@ -246,6 +295,28 @@ impl OptimumCache {
         self.misses.fetch_add(new_entries, Ordering::Relaxed);
         self.hits
             .fetch_add(queries.saturating_sub(new_entries), Ordering::Relaxed);
+    }
+
+    /// Inserts entries without touching the hit/miss counters — the warm
+    /// seeding path (loading a snapshot, pre-warming workers). Keys already
+    /// present keep their stored value; pre-warming is not a query, so a
+    /// seeded cache still reports the exact per-run hit/miss totals.
+    pub fn seed(&self, entries: impl IntoIterator<Item = (OptimumKey, PatternOptimum)>) {
+        for (key, value) in entries {
+            lock(self.shard(&key)).entry(key).or_insert(value);
+        }
+    }
+
+    /// Every stored entry, sorted by [`OptimumKey::order_key`] so the
+    /// listing — and any snapshot built from it — is byte-stable across
+    /// insert schedules, worker counts and shard placement.
+    pub fn snapshot_entries(&self) -> Vec<(OptimumKey, PatternOptimum)> {
+        let mut all: Vec<(OptimumKey, PatternOptimum)> = Vec::with_capacity(self.len());
+        for shard in &self.shards {
+            all.extend(lock(shard).iter().map(|(k, v)| (*k, v.clone())));
+        }
+        all.sort_unstable_by_key(|(key, _)| key.order_key());
+        all
     }
 
     /// Queries answered without recomputation.
@@ -566,6 +637,68 @@ mod tests {
             local.probe(key).is_none(),
             "cold locals must not observe late shared inserts"
         );
+    }
+
+    #[test]
+    fn seeding_touches_no_counters_and_makes_locals_consult_shared() {
+        let warm = OptimumCache::new();
+        let s = &reference_scenarios()[0];
+        let key = OptimumKey::new(&s.platform, &s.costs, Theorem::Four);
+        let value = Theorem::Four.optimize(&s.platform, &s.costs);
+        warm.seed([(key, value.clone())]);
+        assert_eq!(warm.stats().hits + warm.stats().misses, 0);
+        assert_eq!(warm.len(), 1);
+        // A local over the seeded cache adopts the entry as a hit.
+        let mut local = LocalOptimumCache::new(&warm);
+        assert_eq!(local.probe(key), Some(value.clone()));
+        local.flush();
+        assert_eq!(warm.stats().hits, 1);
+        assert_eq!(warm.stats().misses, 0);
+        // And the per-query path hits too, with zero derivations.
+        assert_eq!(warm.optimum(&s.platform, &s.costs, Theorem::Four), value);
+        assert_eq!(warm.stats().misses, 0);
+    }
+
+    #[test]
+    fn snapshot_entries_sort_the_same_regardless_of_insert_order() {
+        let s = &reference_scenarios()[0];
+        let keys: Vec<OptimumKey> = (0..20)
+            .map(|k| {
+                let mut costs = s.costs;
+                costs.checkpoint = 60.0 + k as f64;
+                OptimumKey::new(&s.platform, &costs, Theorem::One)
+            })
+            .collect();
+        let value = Theorem::One.optimize(&s.platform, &s.costs);
+        let forward = OptimumCache::new();
+        forward.seed(keys.iter().map(|&k| (k, value.clone())));
+        let backward = OptimumCache::new();
+        backward.seed(keys.iter().rev().map(|&k| (k, value.clone())));
+        assert_eq!(forward.snapshot_entries(), backward.snapshot_entries());
+        let listed = forward.snapshot_entries();
+        assert!(listed
+            .windows(2)
+            .all(|w| w[0].0.order_key() < w[1].0.order_key()));
+    }
+
+    #[test]
+    fn key_bits_round_trip_every_pattern_including_negative_zero() {
+        for bits in [
+            [0u64; 7],
+            [(-0.0f64).to_bits(), 1, f64::NAN.to_bits(), 3, 4, 5, 6],
+            [u64::MAX; 7],
+        ] {
+            for theorem in Theorem::ALL {
+                let key = OptimumKey::from_bits(bits, theorem);
+                assert_eq!(key.to_bits(), bits);
+                assert_eq!(key.theorem(), theorem);
+            }
+        }
+        // -0.0 and 0.0 are distinct keys, and their order keys differ too.
+        let zero = OptimumKey::from_bits([0; 7], Theorem::One);
+        let negzero = OptimumKey::from_bits([(-0.0f64).to_bits(), 0, 0, 0, 0, 0, 0], Theorem::One);
+        assert_ne!(zero, negzero);
+        assert_ne!(zero.order_key(), negzero.order_key());
     }
 
     #[test]

@@ -23,9 +23,13 @@
 //!   locked maps with lock-free hit/miss counters;
 //! * [`wire`] — hand-written JSON encodings for the domain types
 //!   ([`Platform`], [`CostModel`], [`Theorem`], [`Pattern`],
-//!   [`PatternOptimum`]) that re-validate constructor invariants on
-//!   deserialization, so untrusted wire input cannot build values the
-//!   in-process API could not.
+//!   [`PatternOptimum`], [`OptimumKey`]) that re-validate constructor
+//!   invariants on deserialization, so untrusted wire input cannot build
+//!   values the in-process API could not;
+//! * [`snapshot`] — the serialized optimum-store format (versioned header,
+//!   bit-exact sorted entries, FNV-64 integrity footer) that lets sweep
+//!   shards, orchestrated workers and the query daemon share one warm
+//!   cache instead of re-deriving ~190 optima each.
 //!
 //! Every closed form is cross-checked against the unified numeric optimizers
 //! of the `numerics` crate in `tests/consistency.rs`.
@@ -41,6 +45,7 @@ pub mod overhead_simd;
 pub mod pattern;
 pub mod platform;
 pub mod scenario;
+pub mod snapshot;
 pub mod sweep;
 pub mod wire;
 
@@ -53,4 +58,7 @@ pub use overhead::{error_free_cost, first_order_overhead, reexec_rate, silent_re
 pub use pattern::{CompiledChunk, CompiledPattern, Pattern, VerifyKind};
 pub use platform::{CostModel, Platform};
 pub use scenario::{reference_scenarios, validation_scenarios, Scenario};
+pub use snapshot::{
+    parse_snapshot, snapshot_of_entries, snapshot_string, SNAPSHOT_FORMAT, SNAPSHOT_VERSION,
+};
 pub use sweep::{grid_spec, CellName, SweepCell, SweepSpec, Theorem, GRID_AXIS_LEN};

@@ -12,8 +12,14 @@
 //! * [`Theorem`] — its stable [`Theorem::label`] string (`"theorem4"`);
 //! * [`Pattern`] — a `kind`-tagged object per variant
 //!   (`{"kind":"combined","work":…,"segments":…,"chunks":[…]}`);
-//! * [`PatternOptimum`] — `{"pattern":…,"overhead":…}`.
+//! * [`PatternOptimum`] — `{"pattern":…,"overhead":…}`;
+//! * [`OptimumKey`] — `{"bits":[u64;7],"theorem":"theoremN"}`: the seven
+//!   f64 fields travel as raw bit patterns, not floats, so a snapshot key
+//!   is bit-exact by construction (`-0.0`, subnormals and NaN payloads
+//!   included) and deliberately skips the `Platform`/`CostModel` range
+//!   validation — a memo address is not a model input.
 
+use crate::cache::OptimumKey;
 use crate::optimal::PatternOptimum;
 use crate::pattern::Pattern;
 use crate::platform::{CostModel, Platform};
@@ -233,5 +239,28 @@ impl Deserialize for PatternOptimum {
             pattern: v.read("pattern")?,
             overhead: v.read("overhead")?,
         })
+    }
+}
+
+impl Serialize for OptimumKey {
+    fn to_json(&self) -> Value {
+        Value::obj(vec![
+            ("bits", self.to_bits().to_vec().to_json()),
+            ("theorem", self.theorem().to_json()),
+        ])
+    }
+}
+
+impl Deserialize for OptimumKey {
+    fn from_json(v: &Value) -> Result<Self, JsonError> {
+        let bits: Vec<u64> = v.read("bits")?;
+        let theorem: Theorem = v.read("theorem")?;
+        let bits: [u64; 7] = bits.try_into().map_err(|got: Vec<u64>| {
+            JsonError::new(format!(
+                "bits: a key holds exactly 7 bit patterns, got {}",
+                got.len()
+            ))
+        })?;
+        Ok(OptimumKey::from_bits(bits, theorem))
     }
 }

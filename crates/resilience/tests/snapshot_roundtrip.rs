@@ -1,0 +1,144 @@
+//! Snapshot integrity tests: the optimum-store snapshot must round-trip
+//! *bit-exactly* — including the f64 edge cases JSON decimal rendering is
+//! notorious for mangling (−0.0, subnormals, integers past 2⁵³) — and
+//! reject every tampered, truncated, or foreign document by name. These
+//! are the guarantees that let a warmed shard promise byte-identical
+//! sweep output with zero misses on covered keys.
+
+use resilience::{
+    parse_snapshot, snapshot_of_entries, snapshot_string, OptimumCache, OptimumKey, Pattern,
+    PatternOptimum, Theorem, SNAPSHOT_FORMAT, SNAPSHOT_VERSION,
+};
+
+/// An optimum with a chosen overhead bit pattern — the value-side probe.
+fn optimum(work: f64, overhead: f64) -> PatternOptimum {
+    PatternOptimum {
+        pattern: Pattern::VerifiedCheckpoint { work },
+        overhead,
+    }
+}
+
+/// Keys and values built from the adversarial f64 population: negative
+/// zero (sign bit must survive), the smallest subnormal, a subnormal with
+/// scattered mantissa bits, 2⁵³ + 1 (the first integer a f64→decimal→f64
+/// trip through 15 significant digits would collapse), and garden-variety
+/// values to anchor ordering.
+fn adversarial_entries() -> Vec<(OptimumKey, PatternOptimum)> {
+    let probes = [
+        -0.0f64,
+        f64::from_bits(1),                     // smallest positive subnormal
+        f64::from_bits(0x000f_dead_beef_cafe), // scattered-mantissa subnormal
+        9_007_199_254_740_993.0,               // 2^53 + 1 rounds to 2^53 in decimal-15
+        f64::MIN_POSITIVE,
+        1.0,
+        0.125,
+    ];
+    probes
+        .iter()
+        .enumerate()
+        .flat_map(|(i, &probe)| {
+            Theorem::ALL.into_iter().map(move |theorem| {
+                // Rotate the probe through every key field so each of the
+                // seven bit slots carries an adversarial pattern somewhere.
+                // Keys travel as raw bits, so even −0.0 must survive; the
+                // value side is wire-validated (work must be positive and
+                // finite — rightly so), so its probes stay in that domain
+                // while overhead, which is unvalidated, takes the probe raw.
+                let mut bits = [1.0f64.to_bits(); 7];
+                bits[i % 7] = probe.to_bits();
+                let work = if probe > 0.0 { probe } else { 1.5 };
+                (OptimumKey::from_bits(bits, theorem), optimum(work, probe))
+            })
+        })
+        .collect()
+}
+
+#[test]
+fn adversarial_bit_patterns_round_trip_exactly() {
+    let entries = adversarial_entries();
+    let doc = snapshot_of_entries(&entries);
+    let parsed = parse_snapshot(&doc).expect("adversarial snapshot parses");
+    assert_eq!(parsed.len(), entries.len());
+    let mut sorted = entries;
+    sorted.sort_unstable_by_key(|(k, _)| k.order_key());
+    for ((key, value), (pk, pv)) in sorted.iter().zip(&parsed) {
+        assert_eq!(key.to_bits(), pk.to_bits(), "key bits changed in flight");
+        assert_eq!(key.theorem(), pk.theorem());
+        assert_eq!(
+            value.overhead.to_bits(),
+            pv.overhead.to_bits(),
+            "overhead bits changed in flight: {} vs {}",
+            value.overhead,
+            pv.overhead
+        );
+        assert_eq!(
+            value.pattern.work().to_bits(),
+            pv.pattern.work().to_bits(),
+            "work bits changed in flight: {} vs {}",
+            value.pattern.work(),
+            pv.pattern.work()
+        );
+    }
+    // −0.0 specifically: == cannot see the sign bit, so check it landed.
+    assert!(
+        parsed
+            .iter()
+            .any(|(k, _)| k.to_bits().contains(&(-0.0f64).to_bits())),
+        "negative zero lost its sign bit"
+    );
+}
+
+#[test]
+fn seeded_cache_reproduces_the_exact_document() {
+    // Write → seed a fresh cache → write again: the same bytes, no matter
+    // that the second cache was populated in parsed (sorted) order.
+    let doc = snapshot_of_entries(&adversarial_entries());
+    let cache = OptimumCache::new();
+    cache.seed(parse_snapshot(&doc).unwrap());
+    assert_eq!(snapshot_string(&cache), doc);
+}
+
+#[test]
+fn corrupted_documents_are_rejected_by_name() {
+    let doc = snapshot_of_entries(&adversarial_entries());
+
+    // Bit-flip inside an entry payload, still valid JSON: digest's job.
+    let corrupted = doc.replacen("theorem2", "theorem3", 1);
+    assert_ne!(corrupted, doc, "test setup: corruption must land");
+    let err = parse_snapshot(&corrupted).unwrap_err();
+    assert!(err.contains("corrupted"), "{err}");
+
+    // Truncations: a missing footer and a missing entry are named as such.
+    let no_footer: String = doc
+        .lines()
+        .take(doc.lines().count() - 1)
+        .map(|l| format!("{l}\n"))
+        .collect();
+    let err = parse_snapshot(&no_footer).unwrap_err();
+    assert!(err.contains("truncated"), "{err}");
+    let missing_entry: String = doc
+        .lines()
+        .take(doc.lines().count() - 2)
+        .map(|l| format!("{l}\n"))
+        .collect();
+    let err = parse_snapshot(&missing_entry).unwrap_err();
+    assert!(err.contains("truncated"), "{err}");
+
+    // A foreign format and an unsupported version are named, not guessed.
+    let foreign = doc.replacen(SNAPSHOT_FORMAT, "parquet", 1);
+    let err = parse_snapshot(&foreign).unwrap_err();
+    assert!(err.contains("parquet"), "{err}");
+    let future = doc.replacen(
+        &format!("\"version\":{SNAPSHOT_VERSION}"),
+        "\"version\":99",
+        1,
+    );
+    let err = parse_snapshot(&future).unwrap_err();
+    assert!(err.contains("version 99"), "{err}");
+
+    // Not a snapshot at all.
+    let err = parse_snapshot("").unwrap_err();
+    assert!(err.contains("empty"), "{err}");
+    let err = parse_snapshot("]]junk[[\n").unwrap_err();
+    assert!(err.contains("header"), "{err}");
+}

@@ -111,12 +111,32 @@ const ANALYTIC_BLOCK: usize = 256;
 /// buffered results in one channel send.
 const ANALYTIC_BLOCKS_PER_FLUSH: usize = 16;
 
+/// Resolves a batch of optimum queries in place of the local closed forms
+/// — the live-share hook: the CLI installs a daemon client here for
+/// `--optimum-server` workers, so this crate stays free of any socket I/O.
+/// Must return exactly one optimum per query, in order, and must be
+/// bit-identical to `theorem.optimize(platform, costs)` (the daemon runs
+/// the same pure optimizers over a lossless wire, so it is — which is what
+/// keeps resolved sweeps byte-identical to local ones).
+pub type OptimumResolver =
+    Arc<dyn Fn(&[(Platform, CostModel, Theorem)]) -> Vec<PatternOptimum> + Send + Sync>;
+
 /// Sweep executor: a worker count and a shared optimum cache. Cheap to
 /// construct; reuse one across runs to keep amortizing the cache.
-#[derive(Debug)]
 pub struct SweepExecutor {
     threads: usize,
     cache: Arc<OptimumCache>,
+    resolver: Option<OptimumResolver>,
+}
+
+impl std::fmt::Debug for SweepExecutor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SweepExecutor")
+            .field("threads", &self.threads)
+            .field("cache", &self.cache)
+            .field("resolver", &self.resolver.as_ref().map(|_| "…"))
+            .finish()
+    }
 }
 
 impl SweepExecutor {
@@ -131,6 +151,23 @@ impl SweepExecutor {
         Self {
             threads: threads.max(1),
             cache,
+            resolver: None,
+        }
+    }
+
+    /// Executor whose cache misses are answered by `resolver` instead of
+    /// the local closed forms (the `--optimum-server` worker mode). Hits
+    /// never leave the cache, and the hit/miss accounting is identical to
+    /// the local path — a miss is a miss whether derived here or fetched.
+    pub fn with_resolver(
+        threads: usize,
+        cache: Arc<OptimumCache>,
+        resolver: OptimumResolver,
+    ) -> Self {
+        Self {
+            threads: threads.max(1),
+            cache,
+            resolver: Some(resolver),
         }
     }
 
@@ -319,18 +356,50 @@ impl SweepExecutor {
                 };
                 block.push((cell.index, cell.name, cell.theorem, slot));
             }
-            let optima_t4 = theorem4_batch(&miss_t4_cells);
+            let (optima_t4, optima_other) = match &self.resolver {
+                None => (
+                    theorem4_batch(&miss_t4_cells),
+                    miss_other
+                        .iter()
+                        .map(|&(_, theorem, ref platform, ref costs)| {
+                            theorem.optimize(platform, costs)
+                        })
+                        .collect::<Vec<PatternOptimum>>(),
+                ),
+                Some(_) if miss_t4_cells.is_empty() && miss_other.is_empty() => {
+                    (Vec::new(), Vec::new())
+                }
+                Some(resolve) => {
+                    // Ship the whole block's misses as one query batch, so
+                    // the daemon's coalescing window sees them together.
+                    let mut queries: Vec<(Platform, CostModel, Theorem)> =
+                        Vec::with_capacity(miss_t4_cells.len() + miss_other.len());
+                    queries.extend(
+                        miss_t4_cells
+                            .iter()
+                            .map(|&(platform, costs)| (platform, costs, Theorem::Four)),
+                    );
+                    queries.extend(
+                        miss_other
+                            .iter()
+                            .map(|&(_, theorem, platform, costs)| (platform, costs, theorem)),
+                    );
+                    let mut resolved = resolve(&queries);
+                    assert_eq!(
+                        resolved.len(),
+                        queries.len(),
+                        "optimum resolver must answer every query"
+                    );
+                    let other = resolved.split_off(miss_t4_cells.len());
+                    (resolved, other)
+                }
+            };
             for (&key, optimum) in miss_t4_keys.iter().zip(&optima_t4) {
                 local.insert_computed(key, optimum.clone());
             }
-            let optima_other: Vec<PatternOptimum> = miss_other
-                .iter()
-                .map(|&(key, theorem, ref platform, ref costs)| {
-                    let optimum = theorem.optimize(platform, costs);
-                    local.insert_computed(key, optimum.clone());
-                    optimum
-                })
-                .collect();
+            for (&(key, ..), optimum) in miss_other.iter().zip(&optima_other) {
+                local.insert_computed(key, optimum.clone());
+            }
             for (index, name, theorem, slot) in block.drain(..) {
                 let optimum = match slot {
                     Slot::Ready(optimum) => optimum,
@@ -422,9 +491,7 @@ impl SweepExecutor {
     /// with the cell-derived seed. Consumes the cell — its lazy name moves
     /// into the result, so evaluation allocates nothing per cell.
     fn eval(&self, cell: SweepCell, sim: Option<SimSettings>) -> CellResult {
-        let optimum = self
-            .cache
-            .optimum(&cell.platform, &cell.costs, cell.theorem);
+        let optimum = self.resolve_one(&cell.platform, &cell.costs, cell.theorem);
         let report = sim.map(|s| {
             run_replications(
                 &optimum.pattern,
@@ -446,6 +513,35 @@ impl SweepExecutor {
             optimum,
             report,
         }
+    }
+
+    /// One cell's optimum through the shared cache: local closed forms on
+    /// a miss, or the installed resolver when one is present — with the
+    /// same per-query hit/miss accounting either way (one query; a miss
+    /// iff the key was globally unknown).
+    fn resolve_one(
+        &self,
+        platform: &Platform,
+        costs: &CostModel,
+        theorem: Theorem,
+    ) -> PatternOptimum {
+        let Some(resolve) = &self.resolver else {
+            return self.cache.optimum(platform, costs, theorem);
+        };
+        let key = OptimumKey::new(platform, costs, theorem);
+        if let Some(found) = self.cache.lookup(&key) {
+            self.cache.merge(std::iter::empty(), 1);
+            return found;
+        }
+        let mut resolved = resolve(&[(*platform, *costs, theorem)]);
+        assert_eq!(
+            resolved.len(),
+            1,
+            "optimum resolver must answer every query"
+        );
+        let optimum = resolved.pop().expect("length just asserted");
+        self.cache.merge([(key, optimum.clone())], 1);
+        optimum
     }
 }
 
@@ -511,6 +607,57 @@ mod tests {
             assert_eq!(
                 r.optimum,
                 cell.theorem.optimize(&cell.platform, &cell.costs)
+            );
+        }
+    }
+
+    #[test]
+    fn resolver_answers_misses_and_matches_the_local_path() {
+        let spec = small_spec();
+        let local = SweepExecutor::new(4);
+        let expected = local.run(&spec, None);
+        for threads in [1, 4] {
+            let queries = Arc::new(AtomicUsize::new(0));
+            let counted = Arc::clone(&queries);
+            let resolver: OptimumResolver = Arc::new(move |cells| {
+                counted.fetch_add(cells.len(), Ordering::Relaxed);
+                cells
+                    .iter()
+                    .map(|(platform, costs, theorem)| theorem.optimize(platform, costs))
+                    .collect()
+            });
+            let exec =
+                SweepExecutor::with_resolver(threads, Arc::new(OptimumCache::new()), resolver);
+            assert_eq!(exec.run(&spec, None), expected);
+            let stats = exec.cache().stats();
+            assert_eq!(stats.misses, local.cache().stats().misses);
+            assert_eq!(stats.hits, local.cache().stats().hits);
+            assert!(
+                queries.load(Ordering::Relaxed) as u64 >= stats.misses,
+                "every miss must have reached the resolver"
+            );
+        }
+    }
+
+    #[test]
+    fn warm_cache_never_consults_the_resolver() {
+        let spec = small_spec();
+        let warm = SweepExecutor::new(1);
+        warm.run(&spec, None);
+        let seeded = Arc::new(OptimumCache::new());
+        seeded.seed(warm.cache().snapshot_entries());
+        let resolver: OptimumResolver =
+            Arc::new(|_| panic!("warm covered keys must never reach the resolver"));
+        for threads in [1, 3] {
+            let exec = SweepExecutor::with_resolver(threads, Arc::clone(&seeded), resolver.clone());
+            let before = exec.cache().stats();
+            assert_eq!(exec.run(&spec, None), warm.run_serial(&spec, None));
+            let after = exec.cache().stats();
+            assert_eq!(after.misses, before.misses, "warmed run must not miss");
+            assert_eq!(
+                after.hits - before.hits,
+                spec.len() as u64,
+                "every covered query is a hit"
             );
         }
     }
